@@ -1,0 +1,36 @@
+"""Benchmark E4/E5 — Figure 11: per-program measured vs. simulated times.
+
+Reproduces the two panels of Figure 11:
+
+* (a) V100, 4 nodes, ring, parallelism ``[2 16]``, reduction on axis 1;
+* (b) A100, 4 nodes, tree, parallelism ``[4 2 8]``, reduction on axes 0 and 2.
+
+For each, every synthesized program of every parallelism matrix is measured
+on the testbed simulator and predicted by the analytic simulator; the series
+(sorted by measured time, as in the figure) is printed and saved.  The
+paper's claim is that the predictions "follow the same trend" — asserted here
+as a high Spearman rank correlation between the two orderings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.config import figure11_configs
+from repro.evaluation.figures import build_figure11
+from repro.evaluation.runner import SweepRunner
+
+
+@pytest.mark.benchmark(group="figure11")
+@pytest.mark.parametrize("panel", [0, 1], ids=["11a-v100-ring", "11b-a100-tree"])
+def test_figure11_panel(panel, benchmark, payload_scale, measurement_runs, save_artifact):
+    config = figure11_configs(payload_scale)[panel]
+    runner = SweepRunner(measurement_runs=measurement_runs)
+
+    result = benchmark.pedantic(runner.run, args=(config,), rounds=1, iterations=1)
+    series = build_figure11(config, result=result)
+    save_artifact(f"figure11_{config.name}", series.render(), preview_lines=25)
+
+    assert series.num_points > 20
+    # The predictions must follow the measured trend (paper §5, Figure 11).
+    assert series.spearman_correlation() > 0.8

@@ -1,0 +1,124 @@
+"""Benchmark E9 — ablation over the synthesis hierarchies (§2.5, §3.4, Theorem 3.2).
+
+P2 synthesizes over the reduction-axis hierarchy (d).  This ablation runs the
+synthesizer over all four candidate hierarchies for the paper's Figure 2d
+running example and a two-axis GCP configuration, and reports for each
+variant: the number of virtual devices (search-space size), synthesis time,
+how many programs were synthesized, and how many *valid lowered* programs
+they produce after lowering.  The expected picture — and what the benchmark
+asserts — is that variant (d) is both the cheapest to search and covers every
+valid lowered program the other variants find (the content of Theorem 3.2).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.hierarchy.levels import SystemHierarchy
+from repro.hierarchy.matrix import enumerate_parallelism_matrices
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.hierarchy.placement import DevicePlacement
+from repro.synthesis.hierarchy import HierarchyVariant, build_synthesis_hierarchy
+from repro.synthesis.lowering import lower_synthesized
+from repro.synthesis.synthesizer import synthesize_programs
+from repro.topology.gcp import a100_system
+from repro.utils.tabulate import format_table
+
+VARIANTS = [
+    HierarchyVariant.SYSTEM,
+    HierarchyVariant.COLUMN,
+    HierarchyVariant.ROW,
+    HierarchyVariant.REDUCTION,
+    HierarchyVariant.REDUCTION_COLLAPSED,
+]
+
+CASES = [
+    (
+        "figure2d: rack system, data 4 x shard 4, reduce shards",
+        SystemHierarchy.from_pairs([("rack", 1), ("server", 2), ("cpu", 2), ("gpu", 4)]),
+        ParallelismAxes.of(4, 4),
+        ((1, 1, 2, 2), (1, 2, 1, 2)),
+        ReductionRequest.over(1),
+    ),
+    (
+        "a100 2 nodes, [4 8], reduce axis 0",
+        a100_system(2).hierarchy,
+        ParallelismAxes.of(4, 8),
+        ((2, 2), (1, 8)),
+        ReductionRequest.over(0),
+    ),
+]
+
+MAX_SIZE = 3
+
+
+def _run_case(name, hierarchy, axes, entries, request):
+    matrix = next(
+        m for m in enumerate_parallelism_matrices(hierarchy, axes) if m.entries == entries
+    )
+    placement = DevicePlacement(matrix)
+    rows = []
+    valid_signatures = {}
+    for variant in VARIANTS:
+        synthesis_hierarchy = build_synthesis_hierarchy(matrix, request, variant)
+        start = time.perf_counter()
+        result = synthesize_programs(synthesis_hierarchy, max_program_size=MAX_SIZE)
+        elapsed = time.perf_counter() - start
+        signatures = set()
+        for program in result.programs:
+            lowered = lower_synthesized(program, synthesis_hierarchy, placement)
+            if lowered.validates_against(placement, request):
+                signatures.add(lowered.signature())
+        valid_signatures[variant] = signatures
+        rows.append(
+            [
+                name,
+                variant.value,
+                synthesis_hierarchy.num_virtual_devices,
+                result.num_programs,
+                len(signatures),
+                elapsed,
+            ]
+        )
+    return rows, valid_signatures
+
+
+@pytest.mark.benchmark(group="hierarchy-ablation")
+def test_hierarchy_ablation(benchmark, save_artifact):
+    def run_all():
+        all_rows = []
+        all_signatures = []
+        for case in CASES:
+            rows, signatures = _run_case(*case)
+            all_rows.extend(rows)
+            all_signatures.append(signatures)
+        return all_rows, all_signatures
+
+    all_rows, all_signatures = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        ["case", "hierarchy variant", "virtual devices", "programs",
+         "valid lowered programs", "synthesis time (s)"],
+        all_rows,
+        title=f"Synthesis-hierarchy ablation (program size limit {MAX_SIZE})",
+        float_fmt="{:.3f}",
+    )
+    save_artifact("hierarchy_ablation", text, preview_lines=20)
+
+    for signatures in all_signatures:
+        reduction = signatures[HierarchyVariant.REDUCTION]
+        collapsed = signatures[HierarchyVariant.REDUCTION_COLLAPSED]
+        # Theorem 3.2: the reduction-axis hierarchy covers everything the
+        # system hierarchy can express, and strictly more.
+        assert signatures[HierarchyVariant.SYSTEM] <= reduction
+        assert len(reduction) >= len(signatures[HierarchyVariant.SYSTEM])
+        # Collapsing same-level factors does not lose strategies here.
+        assert collapsed
+    # The search space of (d) is never larger than that of (b)/(c).
+    for rows in (all_rows[:5], all_rows[5:]):
+        sizes = {row[1]: row[2] for row in rows}
+        assert sizes[HierarchyVariant.REDUCTION.value] <= sizes[HierarchyVariant.ROW.value]
+        assert sizes[HierarchyVariant.REDUCTION_COLLAPSED.value] <= sizes[
+            HierarchyVariant.REDUCTION.value
+        ]

@@ -1,0 +1,62 @@
+"""Benchmark E7 — the placement-space reduction claim (§2.1, Figure 2).
+
+The paper motivates parallelism matrices by noting that naively assigning
+``4 x 4`` program shards to 16 GPUs admits ``16! > 2^44`` placements, whereas
+the matrix formulation yields a handful of structured candidates.  This
+benchmark measures matrix enumeration on the paper's systems and prints the
+naive-vs-structured counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.levels import SystemHierarchy
+from repro.hierarchy.matrix import count_naive_placements, enumerate_parallelism_matrices
+from repro.hierarchy.parallelism import ParallelismAxes
+from repro.topology.gcp import a100_system, v100_system
+from repro.utils.tabulate import format_table
+
+CASES = [
+    ("figure2 rack, data 4 x shard 4",
+     SystemHierarchy.from_pairs([("rack", 1), ("server", 2), ("cpu", 2), ("gpu", 4)]),
+     ParallelismAxes.of(4, 4)),
+    ("A100 4 nodes, [4 16]", a100_system(4).hierarchy, ParallelismAxes.of(4, 16)),
+    ("A100 4 nodes, [16 2 2]", a100_system(4).hierarchy, ParallelismAxes.of(16, 2, 2)),
+    ("V100 4 nodes, [8 2 2]", v100_system(4).hierarchy, ParallelismAxes.of(8, 2, 2)),
+    ("A100 4 nodes, [64]", a100_system(4).hierarchy, ParallelismAxes.of(64)),
+]
+
+
+@pytest.mark.benchmark(group="placement-space")
+def test_placement_space_reduction(benchmark, save_artifact):
+    def enumerate_all():
+        return [
+            (name, enumerate_parallelism_matrices(hierarchy, axes), axes)
+            for name, hierarchy, axes in CASES
+        ]
+
+    results = benchmark(enumerate_all)
+
+    rows = []
+    for name, matrices, axes in results:
+        rows.append(
+            [
+                name,
+                len(matrices),
+                f"{count_naive_placements(axes):.2e}",
+                "; ".join(m.describe() for m in matrices[:3]) + (" ..." if len(matrices) > 3 else ""),
+            ]
+        )
+    text = format_table(
+        ["configuration", "parallelism matrices", "naive assignments", "examples"],
+        rows,
+        title="Placement-space reduction (paper section 2.1)",
+    )
+    save_artifact("placement_space_reduction", text)
+
+    figure2 = results[0][1]
+    assert len(figure2) == 4
+    assert count_naive_placements(ParallelismAxes.of(4, 4)) > 2**44
+    # Every case collapses to a tiny structured space.
+    assert all(len(matrices) <= 64 for _, matrices, _ in results)

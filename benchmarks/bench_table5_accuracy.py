@@ -1,0 +1,37 @@
+"""Benchmark E3 — Table 5: top-k prediction accuracy of the simulator.
+
+For every experiment in the accuracy set, all (matrix, program) candidates
+are both predicted (analytic simulator) and measured (flow-level testbed
+simulator); the benchmark reports the fraction of experiments whose
+measured-best candidate appears in the predictor's top-k, per system and
+overall — the rows of Table 5.  The paper reports 52% / 75% / 92% for
+top-1 / top-5 / top-10; we assert the same qualitative behaviour (top-10
+well above top-1, top-10 high in absolute terms).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.config import table5_configs
+from repro.evaluation.runner import SweepRunner
+from repro.evaluation.tables import build_table5
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_simulator_accuracy(benchmark, payload_scale, measurement_runs, save_artifact):
+    configs = table5_configs(payload_scale, quick=True)
+    runner = SweepRunner(measurement_runs=measurement_runs)
+
+    results = benchmark.pedantic(runner.run_many, args=(configs,), rounds=1, iterations=1)
+    artifact = build_table5(results=results)
+    save_artifact("table5_simulator_accuracy", artifact.text)
+
+    total_row = artifact.rows[-1]
+    assert total_row[0] == "Total"
+    top_values = dict(zip(artifact.headers[1:], total_row[1:]))
+    top1 = top_values["Top-1 (%)"]
+    top10 = top_values["Top-10 (%)"]
+    # Accuracy must not degrade with k and the top-10 shortlist must be useful.
+    assert top10 >= top1
+    assert top10 >= 60.0

@@ -1,0 +1,62 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and writes
+the rendered artefact to ``benchmarks/output/``.  Two environment variables
+control the fidelity / cost trade-off:
+
+``REPRO_BENCH_PAYLOAD_SCALE``
+    Fraction of the paper's payload (``2^29 * nodes`` float32 per GPU) used by
+    the sweeps.  Defaults to ``0.02`` so the whole suite runs in a few
+    minutes; set to ``1.0`` to reproduce the paper's absolute scale (the
+    relative results — who wins and by how much — are unchanged because the
+    payloads are firmly bandwidth-dominated either way).
+``REPRO_BENCH_RUNS``
+    Number of testbed measurement runs per program (default 1; the paper uses 10).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def _payload_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_PAYLOAD_SCALE", "0.02"))
+
+
+def _measurement_runs() -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", "1"))
+
+
+@pytest.fixture(scope="session")
+def payload_scale() -> float:
+    return _payload_scale()
+
+
+@pytest.fixture(scope="session")
+def measurement_runs() -> int:
+    return _measurement_runs()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(output_dir):
+    """Return a helper that writes a named artefact and echoes a short preview."""
+
+    def _save(name: str, text: str, preview_lines: int = 12) -> Path:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        preview = "\n".join(text.splitlines()[:preview_lines])
+        print(f"\n--- {name} (full output: {path}) ---\n{preview}\n")
+        return path
+
+    return _save

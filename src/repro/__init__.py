@@ -1,0 +1,65 @@
+"""repro — a reproduction of P² (MLSys 2022).
+
+P² synthesizes (1) parallelism placements — mappings of parallelism axes onto
+a hierarchical accelerator system expressed as *parallelism matrices* — and
+(2) hierarchy-aware reduction strategies — sequences of collective operations
+implementing a requested reduction — and ranks them with a topology-aware
+simulator.
+
+The most convenient entry point is :class:`repro.api.P2`:
+
+    >>> from repro import P2, ParallelismAxes, ReductionRequest
+    >>> from repro.topology import a100_system
+    >>> system = a100_system(num_nodes=2)
+    >>> p2 = P2(system)
+    >>> plan = p2.optimize(ParallelismAxes.of(8, 4), ReductionRequest.over(0),
+    ...                    bytes_per_device=1 << 20)    # doctest: +SKIP
+
+Lower-level building blocks live in the subpackages listed in ``DESIGN.md``.
+"""
+
+from repro._version import __version__
+from repro.hierarchy import (
+    DevicePlacement,
+    ParallelismAxes,
+    ParallelismMatrix,
+    ReductionRequest,
+    SystemHierarchy,
+    enumerate_parallelism_matrices,
+)
+from repro.semantics import Collective
+from repro.synthesis import (
+    HierarchyVariant,
+    LoweredProgram,
+    build_synthesis_hierarchy,
+    synthesize_all,
+    synthesize_programs,
+)
+
+__all__ = [
+    "__version__",
+    "SystemHierarchy",
+    "ParallelismAxes",
+    "ReductionRequest",
+    "ParallelismMatrix",
+    "DevicePlacement",
+    "enumerate_parallelism_matrices",
+    "Collective",
+    "HierarchyVariant",
+    "LoweredProgram",
+    "build_synthesis_hierarchy",
+    "synthesize_programs",
+    "synthesize_all",
+    "P2",
+]
+
+
+def __getattr__(name: str):
+    # Imported lazily to keep `import repro` cheap for users who only need the
+    # core data structures and to avoid importing the topology/cost stack
+    # before it is needed.
+    if name == "P2":
+        from repro.api import P2
+
+        return P2
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

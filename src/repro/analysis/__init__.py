@@ -1,0 +1,32 @@
+"""Post-processing of sweep results: persistence, statistics and comparisons.
+
+The evaluation harness can take minutes at paper-scale payloads, so results
+should be produced once and analysed many times:
+
+* :mod:`repro.analysis.serialization` — save/load sweep results as JSON.
+* :mod:`repro.analysis.stats` — aggregate statistics (fraction of mappings a
+  synthesized program helps, average and maximum speedups, per-system
+  breakdowns) in the form the paper's abstract quotes.
+* :mod:`repro.analysis.compare` — compare two sweeps of the same
+  configurations (e.g. ring vs. tree, or two cost-model settings).
+"""
+
+from repro.analysis.serialization import (
+    load_results,
+    results_from_json,
+    results_to_json,
+    save_results,
+)
+from repro.analysis.stats import SpeedupSummary, summarize_results
+from repro.analysis.compare import SweepComparison, compare_sweeps
+
+__all__ = [
+    "results_to_json",
+    "results_from_json",
+    "save_results",
+    "load_results",
+    "SpeedupSummary",
+    "summarize_results",
+    "SweepComparison",
+    "compare_sweeps",
+]

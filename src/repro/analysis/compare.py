@@ -1,0 +1,152 @@
+"""Comparing two sweeps of the same configurations.
+
+Typical uses: ring vs. tree (``NCCL_ALGO``), two cost-model settings, or the
+effect of a topology change (e.g. doubling the NIC bandwidth) on which
+placements and strategies win.  Results are matched by configuration name and
+parallelism matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.evaluation.runner import MatrixResult, SweepResult
+from repro.utils.tabulate import format_table
+
+__all__ = ["MatrixComparison", "SweepComparison", "compare_sweeps"]
+
+
+@dataclass(frozen=True)
+class MatrixComparison:
+    """Best-strategy comparison for one (configuration, matrix) pair."""
+
+    config_name: str
+    matrix_description: str
+    left_seconds: float
+    right_seconds: float
+    left_program: str
+    right_program: str
+
+    @property
+    def ratio(self) -> float:
+        """``left / right``: > 1 means the right sweep is faster."""
+        if self.right_seconds <= 0:
+            return 1.0
+        return self.left_seconds / self.right_seconds
+
+    @property
+    def same_strategy(self) -> bool:
+        return self.left_program == self.right_program
+
+
+@dataclass(frozen=True)
+class SweepComparison:
+    """All matched (configuration, matrix) comparisons between two sweeps."""
+
+    left_label: str
+    right_label: str
+    comparisons: Tuple[MatrixComparison, ...]
+
+    @property
+    def num_matched(self) -> int:
+        return len(self.comparisons)
+
+    @property
+    def right_wins(self) -> int:
+        return sum(1 for c in self.comparisons if c.ratio > 1.05)
+
+    @property
+    def left_wins(self) -> int:
+        return sum(1 for c in self.comparisons if c.ratio < 1 / 1.05)
+
+    @property
+    def strategy_changes(self) -> int:
+        return sum(1 for c in self.comparisons if not c.same_strategy)
+
+    def describe(self) -> str:
+        rows = [
+            [
+                c.config_name,
+                c.matrix_description,
+                c.left_seconds,
+                c.right_seconds,
+                c.ratio,
+                c.left_program,
+                c.right_program,
+            ]
+            for c in self.comparisons
+        ]
+        table = format_table(
+            [
+                "config",
+                "matrix",
+                f"{self.left_label} (s)",
+                f"{self.right_label} (s)",
+                "ratio",
+                f"{self.left_label} strategy",
+                f"{self.right_label} strategy",
+            ],
+            rows,
+            title=f"{self.left_label} vs {self.right_label}",
+            float_fmt="{:.3f}",
+        )
+        footer = (
+            f"\n{self.right_label} faster on {self.right_wins}/{self.num_matched} mappings, "
+            f"{self.left_label} faster on {self.left_wins}; "
+            f"optimal strategy changes on {self.strategy_changes}"
+        )
+        return table + footer
+
+
+def _index(results: Sequence[SweepResult]) -> Dict[Tuple[str, str], MatrixResult]:
+    index: Dict[Tuple[str, str], MatrixResult] = {}
+    for result in results:
+        base_name = result.config.name.rsplit("-ring", 1)[0].rsplit("-tree", 1)[0]
+        for matrix in result.matrices:
+            index[(base_name, matrix.matrix_description)] = matrix
+    return index
+
+
+def compare_sweeps(
+    left: Sequence[SweepResult],
+    right: Sequence[SweepResult],
+    left_label: str = "left",
+    right_label: str = "right",
+) -> SweepComparison:
+    """Match the two result sets by (configuration, matrix) and compare bests.
+
+    Configuration names are matched after stripping a trailing ``-ring`` /
+    ``-tree`` suffix so that algorithm comparisons produced via
+    :meth:`ExperimentConfig.with_algorithm` line up.
+    """
+    left_index = _index(left)
+    right_index = _index(right)
+    matched_keys = sorted(set(left_index) & set(right_index))
+    if not matched_keys:
+        raise EvaluationError("the two sweeps share no (configuration, matrix) pairs")
+
+    comparisons: List[MatrixComparison] = []
+    for key in matched_keys:
+        left_matrix = left_index[key]
+        right_matrix = right_index[key]
+        left_best = left_matrix.best()
+        right_best = right_matrix.best()
+        if left_best is None or right_best is None:
+            continue
+        comparisons.append(
+            MatrixComparison(
+                config_name=key[0],
+                matrix_description=key[1],
+                left_seconds=left_best.evaluation_seconds,
+                right_seconds=right_best.evaluation_seconds,
+                left_program=left_best.mnemonic,
+                right_program=right_best.mnemonic,
+            )
+        )
+    return SweepComparison(
+        left_label=left_label,
+        right_label=right_label,
+        comparisons=tuple(comparisons),
+    )

@@ -1,0 +1,162 @@
+"""JSON persistence for sweep results.
+
+Only plain data is stored: configurations are flattened to their constructor
+arguments and each program keeps its label, mnemonic, size and the two times.
+Loading therefore does not reconstruct lowered programs (they can always be
+re-synthesized deterministically from the configuration); it reconstructs
+everything the tables, figures and statistics need.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.cost.nccl import NCCLAlgorithm
+from repro.errors import EvaluationError
+from repro.evaluation.config import ExperimentConfig, SystemKind
+from repro.evaluation.runner import MatrixResult, ProgramResult, SweepResult
+from repro.hierarchy.matrix import ParallelismMatrix
+from repro.hierarchy.parallelism import ParallelismAxes
+from repro.hierarchy.levels import SystemHierarchy
+
+__all__ = ["results_to_json", "results_from_json", "save_results", "load_results"]
+
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# Encoding
+# --------------------------------------------------------------------------- #
+def _config_to_dict(config: ExperimentConfig) -> Dict:
+    return {
+        "name": config.name,
+        "system": config.system.value,
+        "num_nodes": config.num_nodes,
+        "axes": list(config.axes),
+        "reduction_axes": list(config.reduction_axes),
+        "algorithm": config.algorithm.value,
+        "payload_scale": config.payload_scale,
+        "max_program_size": config.max_program_size,
+    }
+
+
+def _program_to_dict(program: ProgramResult) -> Dict:
+    return {
+        "label": program.label,
+        "mnemonic": program.mnemonic,
+        "size": program.size,
+        "num_steps": program.num_steps,
+        "predicted_seconds": program.predicted_seconds,
+        "measured_seconds": program.measured_seconds,
+        "is_default_all_reduce": program.is_default_all_reduce,
+    }
+
+
+def _matrix_to_dict(matrix: MatrixResult) -> Dict:
+    return {
+        "entries": [list(row) for row in matrix.matrix.entries],
+        "synthesis_seconds": matrix.synthesis_seconds,
+        "programs": [_program_to_dict(p) for p in matrix.programs],
+    }
+
+
+def results_to_json(results: Sequence[SweepResult]) -> str:
+    """Serialize sweep results to a JSON string."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "results": [
+            {
+                "config": _config_to_dict(result.config),
+                "synthesis_seconds": result.synthesis_seconds,
+                "prediction_seconds": result.prediction_seconds,
+                "measurement_seconds": result.measurement_seconds,
+                "matrices": [_matrix_to_dict(m) for m in result.matrices],
+            }
+            for result in results
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+# --------------------------------------------------------------------------- #
+# Decoding
+# --------------------------------------------------------------------------- #
+def _config_from_dict(data: Dict) -> ExperimentConfig:
+    return ExperimentConfig(
+        name=data["name"],
+        system=SystemKind(data["system"]),
+        num_nodes=data["num_nodes"],
+        axes=tuple(data["axes"]),
+        reduction_axes=tuple(data["reduction_axes"]),
+        algorithm=NCCLAlgorithm(data["algorithm"]),
+        payload_scale=data["payload_scale"],
+        max_program_size=data["max_program_size"],
+    )
+
+
+def _matrix_from_dict(data: Dict, config: ExperimentConfig) -> MatrixResult:
+    hierarchy: SystemHierarchy = config.topology().hierarchy
+    axes: ParallelismAxes = config.parallelism()
+    matrix = ParallelismMatrix(
+        hierarchy, axes, tuple(tuple(row) for row in data["entries"])
+    )
+    programs = [
+        ProgramResult(
+            label=p["label"],
+            mnemonic=p["mnemonic"],
+            size=p["size"],
+            num_steps=p["num_steps"],
+            predicted_seconds=p["predicted_seconds"],
+            measured_seconds=p["measured_seconds"],
+            is_default_all_reduce=p["is_default_all_reduce"],
+        )
+        for p in data["programs"]
+    ]
+    return MatrixResult(
+        matrix=matrix,
+        programs=programs,
+        synthesis_seconds=data["synthesis_seconds"],
+    )
+
+
+def results_from_json(text: str) -> List[SweepResult]:
+    """Deserialize sweep results from :func:`results_to_json` output."""
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise EvaluationError(
+            f"unsupported sweep-result format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    results: List[SweepResult] = []
+    for entry in payload["results"]:
+        config = _config_from_dict(entry["config"])
+        matrices = [_matrix_from_dict(m, config) for m in entry["matrices"]]
+        results.append(
+            SweepResult(
+                config=config,
+                matrices=matrices,
+                synthesis_seconds=entry["synthesis_seconds"],
+                prediction_seconds=entry["prediction_seconds"],
+                measurement_seconds=entry["measurement_seconds"],
+            )
+        )
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Files
+# --------------------------------------------------------------------------- #
+def save_results(results: Sequence[SweepResult], path: Union[str, Path]) -> Path:
+    """Write sweep results to ``path`` as JSON; return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(results_to_json(results))
+    return path
+
+
+def load_results(path: Union[str, Path]) -> List[SweepResult]:
+    """Read sweep results previously written by :func:`save_results`."""
+    return results_from_json(Path(path).read_text())

@@ -1,0 +1,212 @@
+"""High-level user-facing API.
+
+:class:`P2` bundles the whole tool the paper describes: give it a machine
+topology, a parallelism shape, a reduction request and a payload size, and it
+returns every (placement, strategy) candidate ranked by the simulator —
+together with helpers to inspect the best few and to verify them numerically.
+
+Example
+-------
+>>> from repro.api import P2
+>>> from repro.topology import a100_system
+>>> from repro import ParallelismAxes, ReductionRequest
+>>> p2 = P2(a100_system(num_nodes=2))
+>>> plan = p2.optimize(ParallelismAxes.of(8, 4), ReductionRequest.over(0),
+...                    bytes_per_device=1 << 26)
+>>> best = plan.best
+>>> best.predicted_seconds <= plan.default_all_reduce().predicted_seconds
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baselines.allreduce import default_all_reduce
+from repro.cost.model import CostModel
+from repro.cost.nccl import NCCLAlgorithm
+from repro.cost.simulator import ProgramSimulator, SimulationResult
+from repro.errors import EvaluationError
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.hierarchy.matrix import ParallelismMatrix
+from repro.runtime.events import MeasurementResult, TestbedSimulator
+from repro.runtime.noise import NoiseModel
+from repro.runtime.verification import VerificationReport, verify_against_placement
+from repro.synthesis.lowering import LoweredProgram
+from repro.synthesis.pipeline import PlacementCandidate, synthesize_all
+from repro.topology.topology import MachineTopology
+from repro.utils.tabulate import format_table
+
+__all__ = ["RankedStrategy", "OptimizationPlan", "P2"]
+
+
+@dataclass(frozen=True)
+class RankedStrategy:
+    """One (parallelism matrix, lowered program) candidate with its predicted time."""
+
+    matrix: ParallelismMatrix
+    program: LoweredProgram
+    mnemonic: str
+    predicted_seconds: float
+    is_default_all_reduce: bool
+    candidate: PlacementCandidate
+
+    def describe(self) -> str:
+        tag = " [default]" if self.is_default_all_reduce else ""
+        return (
+            f"{self.matrix.describe()} / {self.mnemonic}{tag}: "
+            f"{self.predicted_seconds:.4f}s predicted"
+        )
+
+
+@dataclass
+class OptimizationPlan:
+    """The ranked output of one :meth:`P2.optimize` call."""
+
+    axes: ParallelismAxes
+    request: ReductionRequest
+    bytes_per_device: int
+    algorithm: NCCLAlgorithm
+    strategies: List[RankedStrategy]
+    candidates: List[PlacementCandidate]
+
+    @property
+    def best(self) -> RankedStrategy:
+        if not self.strategies:
+            raise EvaluationError("the plan contains no strategies")
+        return self.strategies[0]
+
+    def top(self, k: int) -> List[RankedStrategy]:
+        return self.strategies[: max(k, 0)]
+
+    def strategies_for_matrix(self, matrix: ParallelismMatrix) -> List[RankedStrategy]:
+        return [s for s in self.strategies if s.matrix == matrix]
+
+    def default_all_reduce(self, matrix: Optional[ParallelismMatrix] = None) -> RankedStrategy:
+        """The default AllReduce strategy (for ``matrix``, or the best-placed one)."""
+        defaults = [s for s in self.strategies if s.is_default_all_reduce]
+        if matrix is not None:
+            defaults = [s for s in defaults if s.matrix == matrix]
+        if not defaults:
+            raise EvaluationError("no default AllReduce strategy in this plan")
+        return min(defaults, key=lambda s: s.predicted_seconds)
+
+    def speedup_over_default(self) -> float:
+        """Predicted speedup of the best strategy over the best-placed AllReduce."""
+        best = self.best.predicted_seconds
+        default = self.default_all_reduce().predicted_seconds
+        if best <= 0:
+            return 1.0
+        return default / best
+
+    def describe(self, top_k: int = 5) -> str:
+        rows = [
+            [i + 1, s.matrix.describe(), s.mnemonic, s.predicted_seconds,
+             "yes" if s.is_default_all_reduce else ""]
+            for i, s in enumerate(self.top(top_k))
+        ]
+        return format_table(
+            ["rank", "matrix", "program", "predicted (s)", "default"],
+            rows,
+            title=(
+                f"Top {min(top_k, len(self.strategies))} of {len(self.strategies)} strategies "
+                f"({self.algorithm}, {self.bytes_per_device / 1e6:.0f} MB per device)"
+            ),
+            float_fmt="{:.4f}",
+        )
+
+
+@dataclass
+class P2:
+    """The end-to-end tool: placement synthesis + strategy synthesis + ranking."""
+
+    topology: MachineTopology
+    cost_model: CostModel = field(default_factory=CostModel)
+    max_program_size: int = 5
+    noise_seed: int = 0
+
+    # ------------------------------------------------------------------ #
+    def optimize(
+        self,
+        axes: ParallelismAxes,
+        request: ReductionRequest,
+        bytes_per_device: int,
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+        max_matrices: Optional[int] = None,
+    ) -> OptimizationPlan:
+        """Synthesize and rank every (placement, strategy) candidate."""
+        if bytes_per_device <= 0:
+            raise EvaluationError("bytes_per_device must be positive")
+        candidates = synthesize_all(
+            self.topology.hierarchy,
+            axes,
+            request,
+            max_program_size=self.max_program_size,
+            max_matrices=max_matrices,
+        )
+        simulator = ProgramSimulator(self.topology, self.cost_model)
+        strategies: List[RankedStrategy] = []
+        for candidate in candidates:
+            entries: List[Tuple[LoweredProgram, str, bool]] = []
+            baseline = default_all_reduce(candidate.placement, request)
+            entries.append((baseline, "AR", True))
+            for program in candidate.programs:
+                if program.is_default_all_reduce:
+                    continue
+                entries.append((program.lowered, program.mnemonic, False))
+            for lowered, mnemonic, is_default in entries:
+                if lowered.num_steps == 0:
+                    predicted = 0.0
+                else:
+                    predicted = simulator.simulate(
+                        lowered, bytes_per_device, algorithm
+                    ).total_seconds
+                strategies.append(
+                    RankedStrategy(
+                        matrix=candidate.matrix,
+                        program=lowered,
+                        mnemonic=mnemonic,
+                        predicted_seconds=predicted,
+                        is_default_all_reduce=is_default,
+                        candidate=candidate,
+                    )
+                )
+        strategies.sort(key=lambda s: s.predicted_seconds)
+        return OptimizationPlan(
+            axes=axes,
+            request=request,
+            bytes_per_device=bytes_per_device,
+            algorithm=algorithm,
+            strategies=strategies,
+            candidates=candidates,
+        )
+
+    # ------------------------------------------------------------------ #
+    def simulate(
+        self,
+        strategy: RankedStrategy,
+        bytes_per_device: Optional[int] = None,
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+    ) -> SimulationResult:
+        """Detailed per-step prediction for one strategy."""
+        simulator = ProgramSimulator(self.topology, self.cost_model)
+        payload = bytes_per_device if bytes_per_device is not None else 1 << 20
+        return simulator.simulate(strategy.program, payload, algorithm)
+
+    def measure(
+        self,
+        strategy: RankedStrategy,
+        bytes_per_device: int,
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+        num_runs: int = 3,
+    ) -> MeasurementResult:
+        """Measure one strategy on the flow-level testbed simulator."""
+        testbed = TestbedSimulator(self.topology, NoiseModel(seed=self.noise_seed))
+        return testbed.measure(strategy.program, bytes_per_device, algorithm, num_runs)
+
+    def verify(self, strategy: RankedStrategy, request: ReductionRequest) -> VerificationReport:
+        """Numerically verify that a strategy implements the requested reduction."""
+        return verify_against_placement(
+            strategy.program, strategy.candidate.placement, request
+        )

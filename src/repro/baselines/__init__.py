@@ -1,0 +1,24 @@
+"""Baseline reduction strategies.
+
+Three well-known strategies serve as comparison points throughout the
+evaluation; all of them live inside the synthesis space of P² (the paper
+notes this explicitly for the two hierarchical ones in §4.2):
+
+* :mod:`repro.baselines.allreduce` — the default: a single AllReduce within
+  each reduction group (what XLA emits today).
+* :mod:`repro.baselines.hierarchical` — Reduce → AllReduce → Broadcast
+  (paper Figure 10(i); Goyal et al. 2018, Jia et al. 2018).
+* :mod:`repro.baselines.blueconnect` — ReduceScatter → AllReduce → AllGather
+  (paper Figure 10(ii); BlueConnect, Cho et al. 2019).
+"""
+
+from repro.baselines.allreduce import default_all_reduce, default_all_reduce_program
+from repro.baselines.hierarchical import reduce_allreduce_broadcast
+from repro.baselines.blueconnect import blueconnect
+
+__all__ = [
+    "default_all_reduce",
+    "default_all_reduce_program",
+    "reduce_allreduce_broadcast",
+    "blueconnect",
+]

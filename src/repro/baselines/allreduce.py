@@ -1,0 +1,51 @@
+"""The default strategy: one AllReduce per reduction group.
+
+This is what the paper's baseline ("the default all-reduce implementation")
+does: a single NCCL AllReduce whose communicator contains exactly the devices
+of each reduction group, regardless of where those devices sit in the
+hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dsl.forms import InsideGroup
+from repro.dsl.program import ReductionInstruction, ReductionProgram
+from repro.hierarchy.parallelism import ReductionRequest
+from repro.hierarchy.placement import DevicePlacement
+from repro.semantics.collectives import Collective
+from repro.synthesis.lowering import LoweredProgram, LoweredStep
+
+__all__ = ["default_all_reduce", "default_all_reduce_program"]
+
+
+def default_all_reduce_program() -> ReductionProgram:
+    """The DSL form of the default strategy: AllReduce inside the root group."""
+    return ReductionProgram.of(
+        ReductionInstruction(0, InsideGroup(), Collective.ALL_REDUCE)
+    )
+
+
+def default_all_reduce(
+    placement: DevicePlacement,
+    request: ReductionRequest,
+    label: str = "AllReduce (default)",
+) -> LoweredProgram:
+    """Lower the default strategy directly from the placement's reduction groups.
+
+    Reduction groups of a single device need no communication and are simply
+    dropped; if every group is a singleton the returned program has no steps.
+    """
+    groups = [tuple(g) for g in placement.reduction_groups(request) if len(g) >= 2]
+    if not groups:
+        return LoweredProgram(
+            num_devices=placement.num_devices, steps=(), source=None, label=label
+        )
+    step = LoweredStep(collective=Collective.ALL_REDUCE, groups=tuple(groups))
+    return LoweredProgram(
+        num_devices=placement.num_devices,
+        steps=(step,),
+        source=default_all_reduce_program(),
+        label=label,
+    )

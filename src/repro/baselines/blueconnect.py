@@ -1,0 +1,43 @@
+"""ReduceScatter → AllReduce → AllGather (paper Figure 10(ii), BlueConnect).
+
+Each local group first reduce-scatters, leaving every member with ``1/g`` of
+the reduced payload; members at the same position of each local group then
+all-reduce across the slow interconnect (moving only the small shards); and a
+final local all-gather reassembles the full payload everywhere.  Proposed by
+BlueConnect (Cho et al., 2019) and, in the paper's experiments, the most
+frequently optimal strategy for cross-node reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dsl.forms import InsideGroup, Parallel
+from repro.dsl.program import ReductionInstruction, ReductionProgram
+from repro.hierarchy.placement import DevicePlacement
+from repro.semantics.collectives import Collective
+from repro.synthesis.hierarchy import SynthesisHierarchy
+from repro.synthesis.lowering import LoweredProgram, lower_program
+from repro.baselines.hierarchical import pick_split_level
+
+__all__ = ["blueconnect"]
+
+
+def blueconnect(
+    hierarchy: SynthesisHierarchy,
+    placement: DevicePlacement,
+    split_level: Optional[int] = None,
+    label: str = "ReduceScatter-AllReduce-AllGather",
+) -> LoweredProgram:
+    """Build and lower the BlueConnect strategy over ``hierarchy``.
+
+    ``split_level`` picks the local-group level exactly as in
+    :func:`repro.baselines.hierarchical.reduce_allreduce_broadcast`.
+    """
+    split = pick_split_level(hierarchy) if split_level is None else split_level
+    program = ReductionProgram.of(
+        ReductionInstruction(split, InsideGroup(), Collective.REDUCE_SCATTER),
+        ReductionInstruction(split, Parallel(0), Collective.ALL_REDUCE),
+        ReductionInstruction(split, InsideGroup(), Collective.ALL_GATHER),
+    )
+    return lower_program(program, hierarchy, placement, label=label)

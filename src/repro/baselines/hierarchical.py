@@ -1,0 +1,68 @@
+"""Reduce → AllReduce → Broadcast (paper Figure 10(i)).
+
+Data is first reduced to one root per *local* group (e.g. per node), the roots
+all-reduce with each other across the slow interconnect, and the result is
+broadcast back inside each local group.  Used by Goyal et al. (2018) and
+Jia et al. (2018) and, in the paper's experiments, occasionally the optimal
+strategy when local groups are small.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dsl.forms import InsideGroup, Master
+from repro.dsl.program import ReductionInstruction, ReductionProgram
+from repro.errors import SynthesisError
+from repro.hierarchy.placement import DevicePlacement
+from repro.semantics.collectives import Collective
+from repro.synthesis.hierarchy import SynthesisHierarchy
+from repro.synthesis.lowering import LoweredProgram, lower_program
+
+__all__ = ["reduce_allreduce_broadcast", "pick_split_level"]
+
+
+def pick_split_level(hierarchy: SynthesisHierarchy) -> int:
+    """Choose the local/global boundary for hierarchical baselines.
+
+    Returns the shallowest level ``s >= 1`` such that both the levels above
+    (``1..s``, the "global" part) and the levels below (``s+1..``, the
+    "local" part) contain real fan-out.  Raises when the hierarchy has no such
+    split (e.g. the whole reduction fits into one level), in which case the
+    hierarchical baselines degenerate to a plain AllReduce and are not
+    interesting.
+    """
+    radices = hierarchy.radices
+    for split in range(1, len(radices)):
+        above = 1
+        for r in radices[1 : split + 1]:
+            above *= r
+        below = 1
+        for r in radices[split + 1 :]:
+            below *= r
+        if above >= 2 and below >= 2:
+            return split
+    raise SynthesisError(
+        f"hierarchy {hierarchy.describe()} has no non-trivial local/global split"
+    )
+
+
+def reduce_allreduce_broadcast(
+    hierarchy: SynthesisHierarchy,
+    placement: DevicePlacement,
+    split_level: Optional[int] = None,
+    label: str = "Reduce-AllReduce-Broadcast",
+) -> LoweredProgram:
+    """Build and lower the Reduce → AllReduce → Broadcast strategy.
+
+    ``split_level`` is the synthesis-hierarchy level whose instances form the
+    local groups; by default the shallowest non-trivial split is used, which
+    on the paper's two-level systems means "local = one node".
+    """
+    split = pick_split_level(hierarchy) if split_level is None else split_level
+    program = ReductionProgram.of(
+        ReductionInstruction(split, InsideGroup(), Collective.REDUCE),
+        ReductionInstruction(split, Master(0), Collective.ALL_REDUCE),
+        ReductionInstruction(split, InsideGroup(), Collective.BROADCAST),
+    )
+    return lower_program(program, hierarchy, placement, label=label)

@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+``repro-cli`` exposes the main reproduction artefacts:
+
+* ``repro-cli optimize`` — run P² for a system / parallelism shape and print
+  the ranked strategies (the tool's primary use case).
+* ``repro-cli plan`` — choose one placement for several reductions at once
+  (gradients + activations, each with its own payload and frequency).
+* ``repro-cli emit`` — print the best strategy as XLA-style collective ops.
+* ``repro-cli table3 | table4 | table5`` — regenerate the paper tables.
+* ``repro-cli figure11`` — regenerate the Figure 11 series.
+* ``repro-cli sweep`` — run the appendix sweep (optionally a quick subset).
+
+All commands accept ``--payload-scale`` so they can be run quickly on a
+laptop; the default reproduces the paper's full payload sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.api import P2
+from repro.cost.nccl import NCCLAlgorithm
+from repro.evaluation.config import (
+    SystemKind,
+    appendix_configs,
+    figure11_configs,
+    paper_payload_bytes,
+)
+from repro.evaluation.figures import build_figure11
+from repro.evaluation.report import render_sweep_summary
+from repro.evaluation.runner import SweepRunner
+from repro.evaluation.tables import (
+    build_appendix_table,
+    build_table3,
+    build_table4,
+    build_table5,
+)
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Reproduction of P2: parallelism placement and reduction strategy synthesis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--payload-scale", type=float, default=1.0,
+                       help="scale the paper's payload (use e.g. 0.01 for quick runs)")
+        p.add_argument("--quick", action="store_true",
+                       help="use reduced configuration sets where applicable")
+
+    def add_shape_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--system", choices=[s.value for s in SystemKind], default="a100")
+        p.add_argument("--nodes", type=int, default=2)
+        p.add_argument("--axes", type=int, nargs="+", required=True,
+                       help="parallelism axis sizes, e.g. --axes 8 4")
+        p.add_argument("--algorithm", choices=[a.value for a in NCCLAlgorithm], default="ring")
+        p.add_argument("--bytes", type=int, default=None,
+                       help="payload bytes per device (default: the paper's 2^29*nodes floats)")
+
+    p_opt = sub.add_parser("optimize", help="synthesize and rank strategies for one shape")
+    add_shape_arguments(p_opt)
+    p_opt.add_argument("--reduce", type=int, nargs="+", default=[0],
+                       help="reduction axis indices, e.g. --reduce 0 2")
+    p_opt.add_argument("--top", type=int, default=10)
+
+    p_plan = sub.add_parser(
+        "plan", help="choose one placement for several reductions (one --reduction per reduction)"
+    )
+    add_shape_arguments(p_plan)
+    p_plan.add_argument(
+        "--reduction",
+        action="append",
+        required=True,
+        metavar="NAME:AXES:BYTES[:WEIGHT]",
+        help="e.g. --reduction gradients:0:268435456 --reduction activations:1:67108864:4",
+    )
+
+    p_emit = sub.add_parser("emit", help="emit the best strategy as XLA-style collective ops")
+    add_shape_arguments(p_emit)
+    p_emit.add_argument("--reduce", type=int, nargs="+", default=[0])
+    p_emit.add_argument("--elements", type=int, default=None,
+                        help="elements per device in the emitted module (default: bytes/4)")
+
+    for name, helptext in [
+        ("table3", "reproduce Table 3 (placement impact on AllReduce)"),
+        ("table4", "reproduce Table 4 (synthesized strategies vs AllReduce)"),
+        ("table5", "reproduce Table 5 (simulator accuracy)"),
+        ("figure11", "reproduce the Figure 11 series"),
+        ("sweep", "run the appendix sweep"),
+    ]:
+        p = sub.add_parser(name, help=helptext)
+        add_common(p)
+        if name == "sweep":
+            p.add_argument("--save", type=str, default=None,
+                           help="write the raw sweep results to this JSON file")
+    return parser
+
+
+def _run_optimize(args: argparse.Namespace) -> int:
+    system = SystemKind(args.system)
+    topology = system.build(args.nodes)
+    bytes_per_device = args.bytes or paper_payload_bytes(args.nodes)
+    p2 = P2(topology)
+    plan = p2.optimize(
+        ParallelismAxes(tuple(args.axes)),
+        ReductionRequest(tuple(args.reduce)),
+        bytes_per_device=bytes_per_device,
+        algorithm=NCCLAlgorithm(args.algorithm),
+    )
+    print(plan.describe(top_k=args.top))
+    print()
+    print(f"best strategy: {plan.best.describe()}")
+    print(f"speedup over best-placed AllReduce: {plan.speedup_over_default():.2f}x")
+    return 0
+
+
+def _parse_weighted_reduction(spec: str, default_bytes: int):
+    from repro.planner import WeightedReduction
+
+    parts = spec.split(":")
+    if len(parts) not in (3, 4):
+        raise SystemExit(
+            f"--reduction must look like NAME:AXES:BYTES[:WEIGHT], got {spec!r}"
+        )
+    name, axes_part, bytes_part = parts[0], parts[1], parts[2]
+    weight = float(parts[3]) if len(parts) == 4 else 1.0
+    axes = tuple(int(a) for a in axes_part.split(",") if a != "")
+    payload = int(bytes_part) if bytes_part else default_bytes
+    return WeightedReduction(
+        name=name,
+        request=ReductionRequest(axes),
+        bytes_per_device=payload,
+        weight=weight,
+    )
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    from repro.planner import MultiReductionPlanner
+
+    system = SystemKind(args.system)
+    topology = system.build(args.nodes)
+    default_bytes = args.bytes or paper_payload_bytes(args.nodes)
+    reductions = [
+        _parse_weighted_reduction(spec, default_bytes) for spec in args.reduction
+    ]
+    planner = MultiReductionPlanner(topology)
+    plan = planner.plan(
+        ParallelismAxes(tuple(args.axes)),
+        reductions,
+        algorithm=NCCLAlgorithm(args.algorithm),
+    )
+    print(plan.describe(top_k=10))
+    print()
+    best = plan.best
+    print(f"best combined placement: {best.matrix.describe()}")
+    for choice in best.choices:
+        print(
+            f"  {choice.reduction.name}: {choice.seconds * 1e3:.2f} ms with {choice.mnemonic} "
+            f"({choice.speedup_over_all_reduce:.2f}x over AllReduce)"
+        )
+    return 0
+
+
+def _run_emit(args: argparse.Namespace) -> int:
+    from repro.compile import emit_xla_module
+
+    system = SystemKind(args.system)
+    topology = system.build(args.nodes)
+    bytes_per_device = args.bytes or paper_payload_bytes(args.nodes)
+    elements = args.elements or max(bytes_per_device // 4, 1)
+    p2 = P2(topology)
+    plan = p2.optimize(
+        ParallelismAxes(tuple(args.axes)),
+        ReductionRequest(tuple(args.reduce)),
+        bytes_per_device=bytes_per_device,
+        algorithm=NCCLAlgorithm(args.algorithm),
+    )
+    best = plan.best
+    print(f"// best strategy: {best.describe()}")
+    module = emit_xla_module(best.program, element_count=elements)
+    print(module.render())
+    return 0
+
+
+def _quick_runner(args: argparse.Namespace) -> SweepRunner:
+    runs = 1 if args.quick else 3
+    return SweepRunner(measurement_runs=runs)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "optimize":
+        return _run_optimize(args)
+
+    if args.command == "plan":
+        return _run_plan(args)
+
+    if args.command == "emit":
+        return _run_emit(args)
+
+    if args.command == "table3":
+        artifact = build_table3(payload_scale=args.payload_scale)
+        print(artifact.text)
+        return 0
+
+    if args.command == "table4":
+        artifact = build_table4(payload_scale=args.payload_scale, runner=_quick_runner(args))
+        print(artifact.text)
+        return 0
+
+    if args.command == "table5":
+        artifact = build_table5(
+            payload_scale=args.payload_scale, quick=args.quick, runner=_quick_runner(args)
+        )
+        print(artifact.text)
+        return 0
+
+    if args.command == "figure11":
+        for config in figure11_configs(args.payload_scale):
+            series = build_figure11(config, runner=_quick_runner(args))
+            print(series.render())
+            print()
+        return 0
+
+    if args.command == "sweep":
+        configs = appendix_configs(args.payload_scale)
+        if args.quick:
+            configs = configs[:6]
+        runner = _quick_runner(args)
+        results = runner.run_many(configs)
+        print(render_sweep_summary(results))
+        print()
+        print(build_appendix_table(results).text)
+        if args.save:
+            from repro.analysis import save_results
+
+            path = save_results(results, args.save)
+            print(f"\nraw results written to {path}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

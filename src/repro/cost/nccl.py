@@ -1,0 +1,82 @@
+"""Alpha-beta costs of collectives under NCCL's ring and tree algorithms.
+
+The paper runs every experiment twice, once with ``NCCL_ALGO=Ring`` and once
+with ``NCCL_ALGO=Tree``; the cost of a single collective over a group of size
+``g`` with per-device payload ``n`` follows the classic models:
+
+============== =============================== ===============================
+collective      ring                            tree
+============== =============================== ===============================
+AllReduce       ``2(g-1)α + 2 n (g-1)/g / B``   ``2⌈log2 g⌉α + 2 n / B``
+ReduceScatter   ``(g-1)α + n (g-1)/g / B``      ``⌈log2 g⌉α + n / B``
+AllGather       ``(g-1)α + n (g-1) / B``        ``⌈log2 g⌉α + n (g-1) / B``
+Reduce          ``(g-1)α + n / B``              ``⌈log2 g⌉α + n / B``
+Broadcast       ``(g-1)α + n / B``              ``⌈log2 g⌉α + n / B``
+============== =============================== ===============================
+
+where ``α`` is the per-hop latency and ``B`` the (possibly contended)
+bandwidth of the bottleneck link.  The byte/step factors live next to the
+Hoare rules (:class:`repro.semantics.collectives.TrafficProfile`) so the two
+views of each collective stay together.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import CostModelError
+from repro.semantics.collectives import TRAFFIC_PROFILES, Collective
+
+__all__ = ["NCCLAlgorithm", "collective_time", "bytes_on_wire", "latency_steps"]
+
+
+class NCCLAlgorithm(str, Enum):
+    """NCCL algorithm selection (the paper's ``NCCL_ALGO`` environment variable)."""
+
+    RING = "ring"
+    TREE = "tree"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def bytes_on_wire(
+    op: Collective, algorithm: NCCLAlgorithm, group_size: int, payload_bytes: float
+) -> float:
+    """Bytes each participant pushes through the bottleneck link."""
+    if group_size < 2:
+        raise CostModelError(f"collectives need a group of >= 2 devices, got {group_size}")
+    if payload_bytes < 0:
+        raise CostModelError("payload_bytes must be non-negative")
+    profile = TRAFFIC_PROFILES[op]
+    if algorithm == NCCLAlgorithm.RING:
+        return profile.ring_bytes_on_wire(payload_bytes, group_size)
+    return profile.tree_bytes_on_wire(payload_bytes, group_size)
+
+
+def latency_steps(op: Collective, algorithm: NCCLAlgorithm, group_size: int) -> int:
+    """Number of serialized hops (latency terms) for the collective."""
+    if group_size < 2:
+        raise CostModelError(f"collectives need a group of >= 2 devices, got {group_size}")
+    profile = TRAFFIC_PROFILES[op]
+    if algorithm == NCCLAlgorithm.RING:
+        return profile.latency_steps_ring(group_size)
+    return profile.latency_steps_tree(group_size)
+
+
+def collective_time(
+    op: Collective,
+    algorithm: NCCLAlgorithm,
+    group_size: int,
+    payload_bytes: float,
+    bandwidth: float,
+    link_latency: float,
+) -> float:
+    """Time for one group to complete ``op`` on a link of ``bandwidth`` bytes/s."""
+    if bandwidth <= 0:
+        raise CostModelError("bandwidth must be positive")
+    if link_latency < 0:
+        raise CostModelError("link latency must be non-negative")
+    volume = bytes_on_wire(op, algorithm, group_size, payload_bytes)
+    steps = latency_steps(op, algorithm, group_size)
+    return steps * link_latency + volume / bandwidth

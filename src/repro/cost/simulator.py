@@ -1,0 +1,173 @@
+"""The analytic program simulator (paper §5).
+
+Given a lowered program, a machine topology and the per-device payload size,
+the simulator
+
+1. runs the Hoare semantics of the program over the physical devices to know
+   how many bytes each device holds before every step (ReduceScatter shrinks
+   payloads, AllGather grows them — this is what makes hierarchical
+   strategies cheap on the cross-node hop),
+2. analyses per-step link contention (:mod:`repro.cost.contention`), and
+3. prices every group with the alpha-beta model (:mod:`repro.cost.nccl`),
+   taking the step time as the maximum over its concurrent groups and the
+   program time as the sum over steps.
+
+The result object keeps the per-step breakdown so the evaluation harness and
+the examples can explain *why* a strategy wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cost.contention import StepContention, analyze_step_contention
+from repro.cost.model import CostModel
+from repro.cost.nccl import NCCLAlgorithm
+from repro.errors import CostModelError
+from repro.semantics.collectives import Collective, apply_collective
+from repro.semantics.goals import initial_context
+from repro.semantics.state import DeviceState, StateContext
+from repro.synthesis.lowering import LoweredProgram, LoweredStep
+from repro.topology.topology import MachineTopology
+
+__all__ = ["StepSimulation", "SimulationResult", "ProgramSimulator", "simulate_program"]
+
+
+@dataclass(frozen=True)
+class StepSimulation:
+    """Cost breakdown of one step of a simulated program."""
+
+    collective: Collective
+    num_groups: int
+    group_size: int
+    seconds: float
+    bottleneck_link: str
+    max_sharing: float
+    payload_bytes: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.collective} x{self.num_groups} (g={self.group_size}, "
+            f"{self.payload_bytes / 1e6:.1f} MB) -> {self.seconds:.4f}s "
+            f"via {self.bottleneck_link} (sharing {self.max_sharing:.0f})"
+        )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """End-to-end prediction for one lowered program."""
+
+    total_seconds: float
+    steps: Tuple[StepSimulation, ...]
+    algorithm: NCCLAlgorithm
+    bytes_per_device: float
+    label: str = ""
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def describe(self) -> str:
+        header = f"{self.label or 'program'}: {self.total_seconds:.4f}s ({self.algorithm})"
+        return "\n".join([header] + [f"  {s.describe()}" for s in self.steps])
+
+
+@dataclass
+class ProgramSimulator:
+    """Reusable simulator bound to one topology and one cost model."""
+
+    topology: MachineTopology
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def simulate(
+        self,
+        program: LoweredProgram,
+        bytes_per_device: float,
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+    ) -> SimulationResult:
+        """Predict the end-to-end time of ``program``."""
+        if bytes_per_device < 0:
+            raise CostModelError("bytes_per_device must be non-negative")
+        if program.num_devices != self.topology.num_devices:
+            raise CostModelError(
+                f"program is over {program.num_devices} devices but the topology has "
+                f"{self.topology.num_devices}"
+            )
+
+        context = initial_context(program.num_devices)
+        steps: List[StepSimulation] = []
+        total = 0.0
+        for step in program.steps:
+            step_result, context = self._simulate_step(
+                step, context, bytes_per_device, algorithm
+            )
+            steps.append(step_result)
+            total += step_result.seconds
+        return SimulationResult(
+            total_seconds=total,
+            steps=tuple(steps),
+            algorithm=algorithm,
+            bytes_per_device=bytes_per_device,
+            label=program.label,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _simulate_step(
+        self,
+        step: LoweredStep,
+        context: StateContext,
+        bytes_per_device: float,
+        algorithm: NCCLAlgorithm,
+    ) -> Tuple[StepSimulation, StateContext]:
+        contention = analyze_step_contention(step, self.topology)
+
+        worst_seconds = 0.0
+        worst_link = contention.groups[0].link.name if contention.groups else "-"
+        worst_payload = 0.0
+        updates: Dict[int, DeviceState] = {}
+
+        for group, cost in zip(step.groups, contention.groups):
+            pre_states = [context[d] for d in group]
+            payload = max(s.chunk_fraction() for s in pre_states) * bytes_per_device
+            seconds = self.cost_model.group_time(
+                op=step.collective,
+                algorithm=algorithm,
+                group_size=len(group),
+                payload_bytes=payload,
+                bandwidth=cost.effective_bandwidth,
+                link_latency=cost.link.latency,
+            )
+            if seconds > worst_seconds:
+                worst_seconds = seconds
+                worst_link = cost.link.name
+                worst_payload = payload
+            post_states = apply_collective(step.collective, pre_states)
+            for device, state in zip(group, post_states):
+                updates[device] = state
+
+        new_context = context.replace(updates)
+        step_result = StepSimulation(
+            collective=step.collective,
+            num_groups=step.num_groups,
+            group_size=step.group_size,
+            seconds=worst_seconds,
+            bottleneck_link=worst_link,
+            max_sharing=contention.max_sharing,
+            payload_bytes=worst_payload,
+        )
+        return step_result, new_context
+
+
+def simulate_program(
+    program: LoweredProgram,
+    topology: MachineTopology,
+    bytes_per_device: float,
+    algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+    cost_model: Optional[CostModel] = None,
+) -> SimulationResult:
+    """Convenience wrapper around :class:`ProgramSimulator` for one-off calls."""
+    simulator = ProgramSimulator(topology, cost_model or CostModel())
+    return simulator.simulate(program, bytes_per_device, algorithm)

@@ -1,0 +1,74 @@
+"""Reduction forms: ``InsideGroup``, ``Parallel(e)`` and ``Master(e)``.
+
+The form of an instruction decides which devices of each slice group talk to
+each other (paper §3.3, Table 2).  Forms referring to an ancestor level carry
+that level's index in the synthesis hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import DSLError
+
+__all__ = ["InsideGroup", "Parallel", "Master", "Form"]
+
+
+@dataclass(frozen=True)
+class InsideGroup:
+    """Reduce within each slice group (all devices under one slice instance)."""
+
+    def describe(self, level_names: Optional[list] = None) -> str:
+        return "InsideGroup"
+
+    @property
+    def ancestor(self) -> Optional[int]:
+        return None
+
+
+@dataclass(frozen=True)
+class Parallel:
+    """Reduce position-wise across all slice groups sharing the same ancestor.
+
+    ``level`` is the index of the ancestor level in the synthesis hierarchy;
+    it must be a strict ancestor (smaller index) of the slice level.
+    """
+
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise DSLError(f"Parallel ancestor level must be >= 0, got {self.level}")
+
+    def describe(self, level_names: Optional[list] = None) -> str:
+        if level_names is not None and 0 <= self.level < len(level_names):
+            return f"Parallel({level_names[self.level]})"
+        return f"Parallel(L{self.level})"
+
+    @property
+    def ancestor(self) -> Optional[int]:
+        return self.level
+
+
+@dataclass(frozen=True)
+class Master:
+    """Like :class:`Parallel`, but only the first position-wise group reduces."""
+
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise DSLError(f"Master ancestor level must be >= 0, got {self.level}")
+
+    def describe(self, level_names: Optional[list] = None) -> str:
+        if level_names is not None and 0 <= self.level < len(level_names):
+            return f"Master({level_names[self.level]})"
+        return f"Master(L{self.level})"
+
+    @property
+    def ancestor(self) -> Optional[int]:
+        return self.level
+
+
+Form = Union[InsideGroup, Parallel, Master]

@@ -1,0 +1,130 @@
+"""From ``(slice, form)`` to concrete device groups (paper §3.3, Table 2).
+
+All functions here work over an abstract hierarchy given only by its level
+radices (root level first).  Devices are the leaves, numbered in mixed-radix
+order with the root digit most significant — exactly the virtual devices of a
+synthesis hierarchy.  The synthesis package later maps these virtual devices
+onto physical ones.
+
+Groups are always returned as tuples of device-index tuples; member order
+within a group is significant (the first member is the root for rooted
+collectives) and follows increasing device index, which for hierarchical
+systems means "first device under the instance" as the paper assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.dsl.forms import Form, InsideGroup, Master, Parallel
+from repro.errors import DSLError
+from repro.semantics.collectives import ALL_COLLECTIVES, Collective
+from repro.utils.mixed_radix import MixedRadix
+
+__all__ = ["derive_groups", "enumerate_instructions", "slice_groups"]
+
+Groups = Tuple[Tuple[int, ...], ...]
+
+
+def _check_radices(radices: Sequence[int], slice_level: int) -> None:
+    if len(radices) == 0:
+        raise DSLError("the synthesis hierarchy has no levels")
+    if not 0 <= slice_level < len(radices):
+        raise DSLError(
+            f"slice level {slice_level} out of range for {len(radices)} hierarchy levels"
+        )
+
+
+def slice_groups(radices: Sequence[int], slice_level: int) -> Groups:
+    """Devices grouped by their instance of ``slice_level``.
+
+    Devices sharing digits ``0..slice_level`` form one group; each group has
+    ``prod(radices[slice_level+1:])`` members ordered by index.
+    """
+    _check_radices(radices, slice_level)
+    radix = MixedRadix(tuple(radices))
+    groups: Dict[Tuple[int, ...], List[int]] = {}
+    for device in range(radix.size):
+        digits = radix.decode(device)
+        key = digits[: slice_level + 1]
+        groups.setdefault(key, []).append(device)
+    return tuple(tuple(groups[k]) for k in sorted(groups))
+
+
+def derive_groups(radices: Sequence[int], slice_level: int, form: Form) -> Groups:
+    """Device groups induced by a ``(slice, form)`` pair.
+
+    * ``InsideGroup``: one group per instance of the slice level.
+    * ``Parallel(a)``: for every instance of ancestor ``a`` and every position
+      below the slice level, the devices at that position across the slice
+      instances under ``a``.
+    * ``Master(a)``: like ``Parallel(a)`` but only position 0.
+
+    Groups of size one are dropped (they cannot host a collective); if no
+    group of size >= 2 remains the result is empty, which callers treat as an
+    invalid instruction.
+    """
+    _check_radices(radices, slice_level)
+    radix = MixedRadix(tuple(radices))
+
+    ancestor = form.ancestor
+    if isinstance(form, InsideGroup):
+        raw = slice_groups(radices, slice_level)
+        return tuple(g for g in raw if len(g) >= 2)
+
+    if ancestor is None or ancestor >= slice_level:
+        raise DSLError(
+            f"form {form!r} must reference a strict ancestor of slice level {slice_level}"
+        )
+
+    groups: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], List[int]] = {}
+    for device in range(radix.size):
+        digits = radix.decode(device)
+        ancestor_key = digits[: ancestor + 1]
+        position_key = digits[slice_level + 1 :]
+        groups.setdefault((ancestor_key, position_key), []).append(device)
+
+    selected: List[Tuple[int, ...]] = []
+    zero_position = tuple([0] * (len(radices) - slice_level - 1))
+    for (ancestor_key, position_key) in sorted(groups):
+        members = tuple(sorted(groups[(ancestor_key, position_key)]))
+        if len(members) < 2:
+            continue
+        if isinstance(form, Master) and position_key != zero_position:
+            continue
+        selected.append(members)
+    return tuple(selected)
+
+
+def enumerate_instructions(
+    radices: Sequence[int],
+    collectives: Sequence[Collective] = ALL_COLLECTIVES,
+    deduplicate: bool = True,
+) -> Iterator[Tuple[int, Form, Collective, Groups]]:
+    """Enumerate all syntactically valid instructions over ``radices``.
+
+    Yields ``(slice_level, form, collective, groups)`` with non-empty groups.
+    When ``deduplicate`` is set (the default), instructions whose derived
+    grouping is identical to one already yielded are skipped — radix-1 levels
+    otherwise generate many copies of the same communication pattern.
+    """
+    if len(radices) == 0:
+        raise DSLError("the synthesis hierarchy has no levels")
+    seen: set = set()
+    num_levels = len(radices)
+    for slice_level in range(num_levels):
+        candidate_forms: List[Form] = [InsideGroup()]
+        for ancestor in range(slice_level):
+            candidate_forms.append(Parallel(ancestor))
+            candidate_forms.append(Master(ancestor))
+        for form in candidate_forms:
+            groups = derive_groups(radices, slice_level, form)
+            if not groups:
+                continue
+            if deduplicate:
+                key = groups
+                if key in seen:
+                    continue
+                seen.add(key)
+            for op in collectives:
+                yield slice_level, form, op, groups

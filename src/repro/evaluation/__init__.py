@@ -1,0 +1,66 @@
+"""Experiment harness reproducing the paper's evaluation (§4, §5, appendix).
+
+* :mod:`repro.evaluation.config` — experiment configurations (system, node
+  count, parallelism axes, reduction axes, NCCL algorithm, payload), including
+  the named configurations behind each paper table.
+* :mod:`repro.evaluation.runner` — runs one configuration end to end:
+  placement synthesis, program synthesis, analytic prediction and testbed
+  measurement for every (matrix, program) pair.
+* :mod:`repro.evaluation.accuracy` — top-k predictor accuracy (Table 5).
+* :mod:`repro.evaluation.tables` — row generators for Tables 3, 4, 5 and the
+  appendix sweep.
+* :mod:`repro.evaluation.figures` — the per-program series of Figure 11.
+* :mod:`repro.evaluation.workloads` — end-to-end training-step models
+  (ResNet-50 data parallelism, Megatron-style sharding) used by the examples
+  and the §1 "15% faster ResNet-50" experiment.
+* :mod:`repro.evaluation.report` — plain-text rendering.
+"""
+
+from repro.evaluation.config import (
+    ExperimentConfig,
+    SystemKind,
+    paper_payload_bytes,
+    table3_configs,
+    table4_configs,
+    table5_configs,
+    appendix_configs,
+    figure11_configs,
+)
+from repro.evaluation.runner import (
+    MatrixResult,
+    ProgramResult,
+    SweepResult,
+    SweepRunner,
+)
+from repro.evaluation.accuracy import AccuracyReport, top_k_accuracy, accuracy_table
+from repro.evaluation.tables import (
+    build_table3,
+    build_table4,
+    build_table5,
+    build_appendix_table,
+)
+from repro.evaluation.figures import Figure11Series, build_figure11
+
+__all__ = [
+    "ExperimentConfig",
+    "SystemKind",
+    "paper_payload_bytes",
+    "table3_configs",
+    "table4_configs",
+    "table5_configs",
+    "appendix_configs",
+    "figure11_configs",
+    "MatrixResult",
+    "ProgramResult",
+    "SweepResult",
+    "SweepRunner",
+    "AccuracyReport",
+    "top_k_accuracy",
+    "accuracy_table",
+    "build_table3",
+    "build_table4",
+    "build_table5",
+    "build_appendix_table",
+    "Figure11Series",
+    "build_figure11",
+]

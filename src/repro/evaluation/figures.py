@@ -1,0 +1,138 @@
+"""Figure 11: per-program measured vs. simulated times.
+
+For one experiment configuration, the figure lists every (matrix, program)
+candidate in increasing order of measured time and plots the measured and
+simulated value side by side, coloured by parallelism matrix.  We reproduce
+the underlying data series (and render them as text); a plotting front end can
+consume :class:`Figure11Series` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.evaluation.config import ExperimentConfig
+from repro.evaluation.runner import SweepResult, SweepRunner
+from repro.utils.tabulate import format_table
+
+__all__ = ["Figure11Point", "Figure11Series", "build_figure11"]
+
+
+@dataclass(frozen=True)
+class Figure11Point:
+    """One program of the figure: its matrix, label and the two times."""
+
+    index: int
+    matrix: str
+    program: str
+    measured_seconds: float
+    simulated_seconds: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.measured_seconds == 0:
+            return 0.0
+        return abs(self.simulated_seconds - self.measured_seconds) / self.measured_seconds
+
+
+@dataclass(frozen=True)
+class Figure11Series:
+    """The full data series behind one of the Figure 11 panels."""
+
+    config: ExperimentConfig
+    points: Tuple[Figure11Point, ...]
+    synthesis_seconds: float
+    simulation_seconds: float
+
+    @property
+    def num_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def mean_relative_error(self) -> float:
+        if not self.points:
+            return 0.0
+        return sum(p.relative_error for p in self.points) / len(self.points)
+
+    def spearman_correlation(self) -> float:
+        """Rank correlation between measured and simulated orderings."""
+        n = len(self.points)
+        if n < 2:
+            return 1.0
+        measured_rank = _ranks([p.measured_seconds for p in self.points])
+        simulated_rank = _ranks([p.simulated_seconds for p in self.points])
+        d2 = sum((a - b) ** 2 for a, b in zip(measured_rank, simulated_rank))
+        return 1.0 - 6.0 * d2 / (n * (n * n - 1))
+
+    def render(self, max_rows: Optional[int] = None) -> str:
+        rows = [
+            [p.index, p.matrix, p.program, p.measured_seconds, p.simulated_seconds,
+             f"{p.relative_error * 100:.0f}%"]
+            for p in self.points[: max_rows or len(self.points)]
+        ]
+        table = format_table(
+            ["#", "matrix", "program", "measured (s)", "simulated (s)", "rel err"],
+            rows,
+            title=f"Figure 11 series for {self.config.describe()}",
+            float_fmt="{:.3f}",
+        )
+        footer = (
+            f"\n{self.num_points} programs; mean relative error "
+            f"{self.mean_relative_error * 100:.1f}%; Spearman rank correlation "
+            f"{self.spearman_correlation():.3f}"
+        )
+        return table + footer
+
+
+def _ranks(values: List[float]) -> List[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    for rank, index in enumerate(order):
+        ranks[index] = float(rank)
+    return ranks
+
+
+def build_figure11(
+    config: ExperimentConfig,
+    runner: Optional[SweepRunner] = None,
+    result: Optional[SweepResult] = None,
+    max_programs: Optional[int] = None,
+) -> Figure11Series:
+    """Build the Figure 11 series for ``config`` (running the sweep if needed)."""
+    if result is None:
+        runner = runner or SweepRunner()
+        result = runner.run(config)
+    points: List[Figure11Point] = []
+    for matrix, program in result.iter_programs():
+        if program.measured_seconds is None:
+            raise EvaluationError("Figure 11 requires measured times")
+        points.append(
+            Figure11Point(
+                index=0,
+                matrix=matrix.matrix_description,
+                program=program.mnemonic,
+                measured_seconds=program.measured_seconds,
+                simulated_seconds=program.predicted_seconds,
+            )
+        )
+    points.sort(key=lambda p: p.measured_seconds)
+    if max_programs is not None:
+        points = points[:max_programs]
+    points = [
+        Figure11Point(
+            index=i,
+            matrix=p.matrix,
+            program=p.program,
+            measured_seconds=p.measured_seconds,
+            simulated_seconds=p.simulated_seconds,
+        )
+        for i, p in enumerate(points)
+    ]
+    return Figure11Series(
+        config=config,
+        points=tuple(points),
+        synthesis_seconds=result.synthesis_seconds,
+        simulation_seconds=result.prediction_seconds,
+    )

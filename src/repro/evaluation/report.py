@@ -1,0 +1,78 @@
+"""Plain-text reporting of sweep results.
+
+The benchmark harness and the CLI both want readable summaries of a
+:class:`~repro.evaluation.runner.SweepResult`; this module renders them so the
+formatting lives in one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.evaluation.runner import MatrixResult, SweepResult
+from repro.utils.tabulate import format_table
+
+__all__ = ["render_matrix_result", "render_sweep_result", "render_sweep_summary"]
+
+
+def render_matrix_result(matrix: MatrixResult, max_programs: Optional[int] = 10) -> str:
+    """One matrix: its programs sorted by evaluation time."""
+    programs = sorted(matrix.programs, key=lambda p: p.evaluation_seconds)
+    rows = []
+    for program in programs[: max_programs or len(programs)]:
+        rows.append(
+            [
+                program.mnemonic,
+                program.size,
+                program.predicted_seconds,
+                program.measured_seconds,
+                "yes" if program.is_default_all_reduce else "",
+            ]
+        )
+    table = format_table(
+        ["program", "size", "predicted (s)", "measured (s)", "default"],
+        rows,
+        title=f"matrix {matrix.matrix_description} ({matrix.num_programs} programs)",
+        float_fmt="{:.4f}",
+    )
+    speedup = matrix.speedup_over_all_reduce()
+    if speedup is not None:
+        table += f"\nbest speedup over AllReduce: {speedup:.2f}x"
+    return table
+
+
+def render_sweep_result(result: SweepResult, max_programs: Optional[int] = 10) -> str:
+    """Full report for one configuration."""
+    sections: List[str] = [result.describe(), ""]
+    for matrix in result.matrices:
+        sections.append(render_matrix_result(matrix, max_programs))
+        sections.append("")
+    return "\n".join(sections)
+
+
+def render_sweep_summary(results: Sequence[SweepResult]) -> str:
+    """One line per configuration: best matrix, best program and speedup."""
+    rows = []
+    for result in results:
+        best_matrix = result.best_matrix()
+        if best_matrix is None:
+            continue
+        best = best_matrix.best()
+        baseline = best_matrix.all_reduce
+        rows.append(
+            [
+                result.config.name,
+                result.config.algorithm.value,
+                best_matrix.matrix_description,
+                baseline.evaluation_seconds if baseline else None,
+                best.evaluation_seconds if best else None,
+                best.mnemonic if best else "-",
+                round(best_matrix.speedup_over_all_reduce() or 1.0, 2),
+            ]
+        )
+    return format_table(
+        ["config", "algo", "best matrix", "AllReduce (s)", "optimal (s)", "program", "speedup"],
+        rows,
+        title="Sweep summary",
+        float_fmt="{:.3f}",
+    )

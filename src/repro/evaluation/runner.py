@@ -1,0 +1,268 @@
+"""Sweep runner: executes one experiment configuration end to end.
+
+For a configuration the runner
+
+1. enumerates every parallelism matrix (placement synthesis),
+2. synthesizes and lowers every reduction program per matrix,
+3. adds the default AllReduce baseline,
+4. predicts every program's time with the analytic simulator, and
+5. (optionally) measures every program with the flow-level testbed simulator.
+
+Everything downstream — the paper tables, the accuracy report and the Figure
+11 series — is computed from the resulting :class:`SweepResult` records, so
+running a configuration once is enough to regenerate all artefacts that use
+it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.baselines.allreduce import default_all_reduce
+from repro.cost.model import CostModel
+from repro.cost.simulator import ProgramSimulator
+from repro.errors import EvaluationError
+from repro.evaluation.config import ExperimentConfig
+from repro.hierarchy.matrix import ParallelismMatrix
+from repro.runtime.events import TestbedSimulator
+from repro.runtime.noise import NoiseModel
+from repro.synthesis.pipeline import PlacementCandidate, synthesize_all
+
+__all__ = ["ProgramResult", "MatrixResult", "SweepResult", "SweepRunner"]
+
+
+@dataclass(frozen=True)
+class ProgramResult:
+    """Predicted and measured time of one lowered program on one placement."""
+
+    label: str
+    mnemonic: str
+    size: int
+    num_steps: int
+    predicted_seconds: float
+    measured_seconds: Optional[float] = None
+    is_default_all_reduce: bool = False
+
+    @property
+    def evaluation_seconds(self) -> float:
+        """Measured time when available, otherwise the prediction."""
+        return self.measured_seconds if self.measured_seconds is not None else self.predicted_seconds
+
+
+@dataclass
+class MatrixResult:
+    """All program results for one parallelism matrix."""
+
+    matrix: ParallelismMatrix
+    programs: List[ProgramResult]
+    synthesis_seconds: float
+
+    @property
+    def matrix_description(self) -> str:
+        return self.matrix.describe()
+
+    @property
+    def num_programs(self) -> int:
+        return len(self.programs)
+
+    @property
+    def all_reduce(self) -> Optional[ProgramResult]:
+        for program in self.programs:
+            if program.is_default_all_reduce:
+                return program
+        return None
+
+    def best_by_prediction(self) -> Optional[ProgramResult]:
+        return min(self.programs, key=lambda p: p.predicted_seconds, default=None)
+
+    def best_by_measurement(self) -> Optional[ProgramResult]:
+        measured = [p for p in self.programs if p.measured_seconds is not None]
+        return min(measured, key=lambda p: p.measured_seconds, default=None)
+
+    def best(self) -> Optional[ProgramResult]:
+        """Best program by measurement when available, else by prediction."""
+        return self.best_by_measurement() or self.best_by_prediction()
+
+    def speedup_over_all_reduce(self) -> Optional[float]:
+        baseline = self.all_reduce
+        best = self.best()
+        if baseline is None or best is None:
+            return None
+        best_time = best.evaluation_seconds
+        if best_time <= 0:
+            return None
+        return baseline.evaluation_seconds / best_time
+
+    def programs_outperforming_all_reduce(self, threshold: float = 1.0) -> int:
+        baseline = self.all_reduce
+        if baseline is None:
+            return 0
+        base = baseline.evaluation_seconds
+        return sum(
+            1
+            for p in self.programs
+            if not p.is_default_all_reduce and p.evaluation_seconds * threshold < base
+        )
+
+
+@dataclass
+class SweepResult:
+    """Results for every matrix of one experiment configuration."""
+
+    config: ExperimentConfig
+    matrices: List[MatrixResult]
+    synthesis_seconds: float
+    prediction_seconds: float
+    measurement_seconds: float
+
+    @property
+    def num_matrices(self) -> int:
+        return len(self.matrices)
+
+    @property
+    def total_programs(self) -> int:
+        return sum(m.num_programs for m in self.matrices)
+
+    def iter_programs(self) -> Iterator[Tuple[MatrixResult, ProgramResult]]:
+        for matrix in self.matrices:
+            for program in matrix.programs:
+                yield matrix, program
+
+    def best_matrix(self) -> Optional[MatrixResult]:
+        """The matrix whose best program is fastest overall."""
+        scored = [
+            (m.best().evaluation_seconds, i, m)
+            for i, m in enumerate(self.matrices)
+            if m.best() is not None
+        ]
+        if not scored:
+            return None
+        return min(scored)[2]
+
+    def describe(self) -> str:
+        return (
+            f"{self.config.describe()}: {self.num_matrices} matrices, "
+            f"{self.total_programs} programs "
+            f"(synthesis {self.synthesis_seconds:.2f}s, prediction {self.prediction_seconds:.2f}s, "
+            f"measurement {self.measurement_seconds:.2f}s)"
+        )
+
+
+@dataclass
+class SweepRunner:
+    """Runs experiment configurations and caches nothing (results are returned)."""
+
+    cost_model: CostModel = field(default_factory=CostModel)
+    noise_seed: int = 0
+    measurement_runs: int = 3
+    measure_programs: bool = True
+    validate_lowering: bool = True
+    node_limit: int = 500_000
+
+    # ------------------------------------------------------------------ #
+    def run(self, config: ExperimentConfig) -> SweepResult:
+        """Run one configuration end to end."""
+        topology = config.topology()
+        axes = config.parallelism()
+        request = config.request()
+        bytes_per_device = config.bytes_per_device
+
+        synthesis_start = time.perf_counter()
+        candidates = synthesize_all(
+            topology.hierarchy,
+            axes,
+            request,
+            max_program_size=config.max_program_size,
+            node_limit=self.node_limit,
+            validate=self.validate_lowering,
+        )
+        synthesis_seconds = time.perf_counter() - synthesis_start
+
+        simulator = ProgramSimulator(topology, self.cost_model)
+        testbed = TestbedSimulator(topology, NoiseModel(seed=self.noise_seed))
+
+        prediction_seconds = 0.0
+        measurement_seconds = 0.0
+        matrices: List[MatrixResult] = []
+        for candidate in candidates:
+            matrix_result, predict_dt, measure_dt = self._evaluate_candidate(
+                candidate, config, simulator, testbed, bytes_per_device
+            )
+            prediction_seconds += predict_dt
+            measurement_seconds += measure_dt
+            matrices.append(matrix_result)
+
+        return SweepResult(
+            config=config,
+            matrices=matrices,
+            synthesis_seconds=synthesis_seconds,
+            prediction_seconds=prediction_seconds,
+            measurement_seconds=measurement_seconds,
+        )
+
+    def run_many(self, configs: List[ExperimentConfig]) -> List[SweepResult]:
+        return [self.run(config) for config in configs]
+
+    # ------------------------------------------------------------------ #
+    def _evaluate_candidate(
+        self,
+        candidate: PlacementCandidate,
+        config: ExperimentConfig,
+        simulator: ProgramSimulator,
+        testbed: TestbedSimulator,
+        bytes_per_device: int,
+    ) -> Tuple[MatrixResult, float, float]:
+        request = config.request()
+        algorithm = config.algorithm
+        programs: List[ProgramResult] = []
+
+        # The default baseline, lowered straight from the reduction groups.
+        baseline = default_all_reduce(candidate.placement, request)
+        entries = [("AllReduce (default)", "AR", 1, baseline, True)]
+        for program in candidate.programs:
+            if program.is_default_all_reduce:
+                # Identical to the baseline entry above; skip the duplicate.
+                continue
+            entries.append(
+                (program.lowered.label, program.mnemonic, program.size, program.lowered, False)
+            )
+
+        predict_dt = 0.0
+        measure_dt = 0.0
+        for label, mnemonic, size, lowered, is_default in entries:
+            if lowered.num_steps == 0:
+                # Nothing to communicate (singleton reduction groups).
+                programs.append(
+                    ProgramResult(label, mnemonic, size, 0, 0.0, 0.0, is_default)
+                )
+                continue
+            start = time.perf_counter()
+            predicted = simulator.simulate(lowered, bytes_per_device, algorithm).total_seconds
+            predict_dt += time.perf_counter() - start
+            measured: Optional[float] = None
+            if self.measure_programs:
+                start = time.perf_counter()
+                measured = testbed.measure(
+                    lowered, bytes_per_device, algorithm, num_runs=self.measurement_runs
+                ).total_seconds
+                measure_dt += time.perf_counter() - start
+            programs.append(
+                ProgramResult(
+                    label=label,
+                    mnemonic=mnemonic,
+                    size=size,
+                    num_steps=lowered.num_steps,
+                    predicted_seconds=predicted,
+                    measured_seconds=measured,
+                    is_default_all_reduce=is_default,
+                )
+            )
+
+        matrix_result = MatrixResult(
+            matrix=candidate.matrix,
+            programs=programs,
+            synthesis_seconds=candidate.synthesis_seconds,
+        )
+        return matrix_result, predict_dt, measure_dt

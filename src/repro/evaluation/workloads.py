@@ -1,0 +1,176 @@
+"""End-to-end training-step models.
+
+The paper motivates P² with training workloads (§1: a 15% ResNet-50
+data-parallel speedup on 4 nodes of 8 V100s) and with Megatron-style sharded
+transformers whose layers reduce over more than one axis.  This module
+provides small analytic models of such workloads so the examples and the E10
+benchmark can translate communication-time improvements into step-time
+improvements.
+
+A :class:`TrainingWorkload` is a per-device compute time plus one or more
+:class:`ReductionPhase` entries (payload + reduction axes + how much of the
+communication can be overlapped with compute).  Given communication times for
+each phase (from the simulator or the testbed), :meth:`TrainingWorkload.step_time`
+returns the end-to-end step time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "ReductionPhase",
+    "TrainingWorkload",
+    "resnet50_data_parallel",
+    "megatron_sharded_layer",
+]
+
+MB = 1e6
+
+
+@dataclass(frozen=True)
+class ReductionPhase:
+    """One reduction the training step must perform."""
+
+    name: str
+    bytes_per_device: int
+    reduction_axes: Tuple[int, ...]
+    overlap_fraction: float = 0.0  # fraction of the communication hidden behind compute
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_device <= 0:
+            raise EvaluationError(f"phase {self.name!r} needs a positive payload")
+        if not 0.0 <= self.overlap_fraction < 1.0:
+            raise EvaluationError("overlap_fraction must be in [0, 1)")
+        if not self.reduction_axes:
+            raise EvaluationError(f"phase {self.name!r} needs at least one reduction axis")
+
+    def exposed_seconds(self, communication_seconds: float) -> float:
+        """Communication time that is not hidden behind compute."""
+        return communication_seconds * (1.0 - self.overlap_fraction)
+
+
+@dataclass(frozen=True)
+class TrainingWorkload:
+    """A training step: compute plus a set of reductions."""
+
+    name: str
+    compute_seconds: float
+    parallelism_axes: Tuple[int, ...]
+    phases: Tuple[ReductionPhase, ...]
+
+    def __post_init__(self) -> None:
+        if self.compute_seconds <= 0:
+            raise EvaluationError("compute_seconds must be positive")
+        if not self.phases:
+            raise EvaluationError("a workload needs at least one reduction phase")
+        for phase in self.phases:
+            for axis in phase.reduction_axes:
+                if not 0 <= axis < len(self.parallelism_axes):
+                    raise EvaluationError(
+                        f"phase {phase.name!r} reduces over axis {axis}, which does not exist"
+                    )
+
+    def step_time(self, communication_seconds: Dict[str, float]) -> float:
+        """End-to-end step time given per-phase communication times."""
+        total = self.compute_seconds
+        for phase in self.phases:
+            if phase.name not in communication_seconds:
+                raise EvaluationError(f"missing communication time for phase {phase.name!r}")
+            total += phase.exposed_seconds(communication_seconds[phase.name])
+        return total
+
+    def improvement(
+        self,
+        baseline_communication: Dict[str, float],
+        optimized_communication: Dict[str, float],
+    ) -> float:
+        """Relative step-time improvement: ``1 - optimized / baseline``."""
+        baseline = self.step_time(baseline_communication)
+        optimized = self.step_time(optimized_communication)
+        if baseline <= 0:
+            raise EvaluationError("baseline step time must be positive")
+        return 1.0 - optimized / baseline
+
+    def communication_fraction(self, communication_seconds: Dict[str, float]) -> float:
+        """Fraction of the step spent in exposed communication."""
+        step = self.step_time(communication_seconds)
+        exposed = step - self.compute_seconds
+        return exposed / step if step > 0 else 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Concrete workloads used by the examples and benchmarks
+# --------------------------------------------------------------------------- #
+RESNET50_GRADIENT_BYTES = int(25.6e6 * 4)  # 25.6M float32 parameters -> ~102 MB
+
+
+def resnet50_data_parallel(
+    num_replicas: int,
+    compute_seconds: float = 0.30,
+    overlap_fraction: float = 0.0,
+) -> TrainingWorkload:
+    """ResNet-50 data-parallel training: one gradient all-reduce per step.
+
+    ``compute_seconds`` is the per-step forward+backward time per replica
+    (≈0.3 s for a 256-image local batch on a V100); the gradient payload is
+    the full 25.6M-parameter model in float32.
+    """
+    if num_replicas < 2:
+        raise EvaluationError("data parallelism needs at least 2 replicas")
+    return TrainingWorkload(
+        name="resnet50-data-parallel",
+        compute_seconds=compute_seconds,
+        parallelism_axes=(num_replicas,),
+        phases=(
+            ReductionPhase(
+                name="gradients",
+                bytes_per_device=RESNET50_GRADIENT_BYTES,
+                reduction_axes=(0,),
+                overlap_fraction=overlap_fraction,
+            ),
+        ),
+    )
+
+
+def megatron_sharded_layer(
+    data_parallel: int,
+    model_parallel: int,
+    hidden_size: int = 12288,
+    sequence_length: int = 2048,
+    micro_batch: int = 1,
+    compute_seconds: float = 0.08,
+) -> TrainingWorkload:
+    """A Megatron-style sharded transformer layer with two reductions per step.
+
+    The forward/backward activations are all-reduced over the model-parallel
+    axis (axis 1) and the gradients over the data-parallel axis (axis 0) —
+    exactly the "multiple parallelism axes, multiple reduction axes" setting
+    the paper's placement study targets.
+    """
+    if data_parallel < 2 or model_parallel < 2:
+        raise EvaluationError("both parallel axes need size >= 2")
+    activation_bytes = hidden_size * sequence_length * micro_batch * 2  # bf16 activations
+    gradient_bytes = int(12 * hidden_size * hidden_size / model_parallel * 4)
+    return TrainingWorkload(
+        name="megatron-sharded-layer",
+        compute_seconds=compute_seconds,
+        parallelism_axes=(data_parallel, model_parallel),
+        phases=(
+            ReductionPhase(
+                name="activations",
+                bytes_per_device=activation_bytes,
+                reduction_axes=(1,),
+                overlap_fraction=0.0,
+            ),
+            ReductionPhase(
+                name="gradients",
+                bytes_per_device=gradient_bytes,
+                reduction_axes=(0,),
+                overlap_fraction=0.5,
+            ),
+        ),
+    )

@@ -1,0 +1,37 @@
+"""System hierarchies, parallelism axes and parallelism-matrix placement.
+
+This package implements §2.1 and §3.1 of the paper:
+
+* :class:`~repro.hierarchy.levels.SystemHierarchy` — the named hardware levels
+  with cardinalities, e.g. ``[(rack, 1), (server, 2), (CPU, 2), (GPU, 4)]``.
+* :class:`~repro.hierarchy.parallelism.ParallelismAxes` /
+  :class:`~repro.hierarchy.parallelism.ReductionRequest` — the user's
+  parallelism shape and which axes to reduce over.
+* :class:`~repro.hierarchy.matrix.ParallelismMatrix` and
+  :func:`~repro.hierarchy.matrix.enumerate_parallelism_matrices` — placement
+  synthesis: every matrix whose column products match the hierarchy and row
+  products match the axes.
+* :class:`~repro.hierarchy.placement.DevicePlacement` — the interpretation of a
+  matrix as a concrete mapping between parallelism coordinates and devices,
+  including reduction groups for a reduction request.
+"""
+
+from repro.hierarchy.levels import Level, SystemHierarchy
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.hierarchy.matrix import (
+    ParallelismMatrix,
+    count_naive_placements,
+    enumerate_parallelism_matrices,
+)
+from repro.hierarchy.placement import DevicePlacement
+
+__all__ = [
+    "Level",
+    "SystemHierarchy",
+    "ParallelismAxes",
+    "ReductionRequest",
+    "ParallelismMatrix",
+    "enumerate_parallelism_matrices",
+    "count_naive_placements",
+    "DevicePlacement",
+]

@@ -1,0 +1,201 @@
+"""Interpreting a parallelism matrix as a concrete device placement.
+
+A parallelism matrix refines every hardware level into one digit per
+parallelism axis.  A device is therefore addressed by a full digit grid
+``c[i][j]`` (axis ``i``, level ``j``) with ``0 <= c[i][j] < X[i][j]``, and the
+placement is the bijection between those grids and
+
+* flat physical device ids (mixed radix over levels, digits within a level
+  ordered by axis), and
+* per-axis parallelism coordinates (mixed radix over levels for that axis).
+
+This is the interpretation of Figure 2 in the paper: device ``n/m`` in the
+figure is the device whose data-parallel coordinate is ``n`` and whose
+parameter-shard coordinate is ``m``.
+
+Reduction groups fall out directly: devices that share every non-reduction
+axis coordinate form one group, ordered by their reduction-axis digits (the
+order the synthesis hierarchy (d) uses, which is what makes lowering a pure
+re-indexing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import PlacementError
+from repro.hierarchy.matrix import ParallelismMatrix
+from repro.hierarchy.parallelism import ReductionRequest
+from repro.utils.mixed_radix import MixedRadix
+
+__all__ = ["DevicePlacement"]
+
+CoordGrid = Tuple[Tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class DevicePlacement:
+    """Coordinate bookkeeping for one parallelism matrix.
+
+    All conversions are pure functions of the matrix; the class only caches
+    the mixed-radix helpers.
+    """
+
+    matrix: ParallelismMatrix
+
+    # ------------------------------------------------------------------ #
+    # Radix helpers
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def _level_radices(self) -> Tuple[MixedRadix, ...]:
+        """Per level: mixed radix over that level's per-axis factors (axis order)."""
+        return tuple(
+            MixedRadix(self.matrix.column(j)) for j in range(self.matrix.num_cols)
+        )
+
+    @cached_property
+    def _hierarchy_radix(self) -> MixedRadix:
+        return MixedRadix(self.matrix.hierarchy.cardinalities)
+
+    @cached_property
+    def _axis_radices(self) -> Tuple[MixedRadix, ...]:
+        """Per axis: mixed radix over that axis's per-level factors (level order)."""
+        return tuple(MixedRadix(self.matrix.row(i)) for i in range(self.matrix.num_rows))
+
+    @property
+    def num_devices(self) -> int:
+        return self.matrix.num_devices
+
+    @property
+    def num_axes(self) -> int:
+        return self.matrix.num_rows
+
+    @property
+    def num_levels(self) -> int:
+        return self.matrix.num_cols
+
+    # ------------------------------------------------------------------ #
+    # Grid <-> device id
+    # ------------------------------------------------------------------ #
+    def grid_to_device(self, grid: Sequence[Sequence[int]]) -> int:
+        """Map a full digit grid ``c[i][j]`` to the flat physical device id."""
+        self._check_grid(grid)
+        level_digits = []
+        for j in range(self.num_levels):
+            column_digits = tuple(grid[i][j] for i in range(self.num_axes))
+            level_digits.append(self._level_radices[j].encode(column_digits))
+        return self._hierarchy_radix.encode(level_digits)
+
+    def device_to_grid(self, device: int) -> CoordGrid:
+        """Map a flat physical device id back to the full digit grid."""
+        level_digits = self._hierarchy_radix.decode(device)
+        grid: List[List[int]] = [[0] * self.num_levels for _ in range(self.num_axes)]
+        for j, level_digit in enumerate(level_digits):
+            column_digits = self._level_radices[j].decode(level_digit)
+            for i in range(self.num_axes):
+                grid[i][j] = column_digits[i]
+        return tuple(tuple(row) for row in grid)
+
+    def _check_grid(self, grid: Sequence[Sequence[int]]) -> None:
+        if len(grid) != self.num_axes:
+            raise PlacementError(f"grid has {len(grid)} rows, expected {self.num_axes}")
+        for i, row in enumerate(grid):
+            if len(row) != self.num_levels:
+                raise PlacementError(
+                    f"grid row {i} has {len(row)} columns, expected {self.num_levels}"
+                )
+            for j, digit in enumerate(row):
+                limit = self.matrix.factor(i, j)
+                if not 0 <= digit < limit:
+                    raise PlacementError(
+                        f"grid digit c[{i}][{j}] = {digit} out of range [0, {limit})"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Parallelism coordinates
+    # ------------------------------------------------------------------ #
+    def axis_coordinate(self, device: int, axis: int) -> int:
+        """Coordinate of ``device`` along parallelism ``axis`` (e.g. its data-parallel rank)."""
+        grid = self.device_to_grid(device)
+        return self._axis_radices[axis].encode(grid[axis])
+
+    def parallel_coordinates(self, device: int) -> Tuple[int, ...]:
+        """All per-axis coordinates of ``device`` (one entry per parallelism axis)."""
+        grid = self.device_to_grid(device)
+        return tuple(
+            self._axis_radices[i].encode(grid[i]) for i in range(self.num_axes)
+        )
+
+    def device_for_coordinates(self, coordinates: Sequence[int]) -> int:
+        """Inverse of :meth:`parallel_coordinates`."""
+        if len(coordinates) != self.num_axes:
+            raise PlacementError(
+                f"expected {self.num_axes} parallel coordinates, got {len(coordinates)}"
+            )
+        grid: List[Tuple[int, ...]] = []
+        for i, coord in enumerate(coordinates):
+            grid.append(self._axis_radices[i].decode(coord))
+        return self.grid_to_device(grid)
+
+    @cached_property
+    def coordinate_table(self) -> Tuple[Tuple[int, ...], ...]:
+        """``coordinate_table[d]`` is :meth:`parallel_coordinates` of device ``d``."""
+        return tuple(self.parallel_coordinates(d) for d in range(self.num_devices))
+
+    # ------------------------------------------------------------------ #
+    # Reduction groups
+    # ------------------------------------------------------------------ #
+    def reduction_groups(self, request: ReductionRequest) -> List[List[int]]:
+        """Return the reduction groups for ``request``.
+
+        Devices sharing all non-reduction coordinates form a group.  Within a
+        group, devices are ordered by their reduction-axis digits flattened in
+        the (axis-major, level-minor) order used by synthesis hierarchy (d):
+        this ordering is what lowering relies on, and also fixes which device
+        acts as the root for Reduce / Broadcast (the first one).
+        """
+        request.validate_against(self.matrix.axes)
+        reduction_axes = list(request.axes)
+        positions = [
+            (i, j) for i in reduction_axes for j in range(self.num_levels)
+        ]
+        radices = MixedRadix(tuple(self.matrix.factor(i, j) for i, j in positions))
+
+        groups: Dict[Tuple[int, ...], List[Tuple[int, int]]] = {}
+        for device in range(self.num_devices):
+            grid = self.device_to_grid(device)
+            key = tuple(
+                grid[i][j]
+                for i in range(self.num_axes)
+                if i not in reduction_axes
+                for j in range(self.num_levels)
+            )
+            rank = radices.encode(tuple(grid[i][j] for i, j in positions))
+            groups.setdefault(key, []).append((rank, device))
+
+        ordered: List[List[int]] = []
+        for key in sorted(groups):
+            members = sorted(groups[key])
+            ordered.append([device for _, device in members])
+        return ordered
+
+    def reduction_group_of(self, device: int, request: ReductionRequest) -> List[int]:
+        """Return the (ordered) reduction group containing ``device``."""
+        for group in self.reduction_groups(request):
+            if device in group:
+                return group
+        raise PlacementError(f"device {device} not found in any reduction group")
+
+    # ------------------------------------------------------------------ #
+    # Presentation
+    # ------------------------------------------------------------------ #
+    def placement_table(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Return ``(device, parallel coordinates)`` rows, device order."""
+        return [(d, self.parallel_coordinates(d)) for d in range(self.num_devices)]
+
+    def describe_device(self, device: int) -> str:
+        """Human-readable marker like the paper's ``n/m`` labels in Figure 2."""
+        coords = self.parallel_coordinates(device)
+        return "/".join(str(c) for c in coords)

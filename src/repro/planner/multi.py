@@ -1,0 +1,272 @@
+"""Choosing one placement for several reductions at once.
+
+The planner evaluates every parallelism matrix against every requested
+reduction:
+
+* for each (matrix, reduction) pair it synthesizes the reduction strategies
+  with the usual P² pipeline, prices them with the analytic simulator and
+  keeps the cheapest (together with the default AllReduce for reference);
+* each reduction carries a *weight* — how many times it runs per training
+  step — so the per-placement objective is the weighted sum of the best
+  per-reduction times;
+* placements are ranked by that objective.
+
+This is exactly the workflow §4.1 of the paper argues for when it notes that
+"models with multiple parallelism forms involve reductions across both axes,
+and the selection of a mapping should take all of them into account".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.allreduce import default_all_reduce
+from repro.cost.model import CostModel
+from repro.dsl.pretty import program_mnemonic
+from repro.cost.nccl import NCCLAlgorithm
+from repro.cost.simulator import ProgramSimulator
+from repro.errors import EvaluationError
+from repro.hierarchy.matrix import ParallelismMatrix, enumerate_parallelism_matrices
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.hierarchy.placement import DevicePlacement
+from repro.synthesis.hierarchy import build_synthesis_hierarchy
+from repro.synthesis.lowering import LoweredProgram, lower_synthesized
+from repro.synthesis.synthesizer import Synthesizer
+from repro.topology.topology import MachineTopology
+from repro.utils.tabulate import format_table
+
+__all__ = [
+    "WeightedReduction",
+    "ReductionChoice",
+    "PlacementEvaluation",
+    "MultiReductionPlan",
+    "MultiReductionPlanner",
+]
+
+
+@dataclass(frozen=True)
+class WeightedReduction:
+    """One reduction the training step performs, with its payload and frequency."""
+
+    name: str
+    request: ReductionRequest
+    bytes_per_device: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise EvaluationError("a weighted reduction needs a name")
+        if self.bytes_per_device <= 0:
+            raise EvaluationError(f"reduction {self.name!r} needs a positive payload")
+        if self.weight <= 0:
+            raise EvaluationError(f"reduction {self.name!r} needs a positive weight")
+
+
+@dataclass(frozen=True)
+class ReductionChoice:
+    """The strategy chosen for one reduction under one placement."""
+
+    reduction: WeightedReduction
+    program: LoweredProgram
+    mnemonic: str
+    seconds: float
+    all_reduce_seconds: float
+
+    @property
+    def speedup_over_all_reduce(self) -> float:
+        if self.seconds <= 0:
+            return 1.0
+        return self.all_reduce_seconds / self.seconds
+
+    @property
+    def weighted_seconds(self) -> float:
+        return self.seconds * self.reduction.weight
+
+
+@dataclass(frozen=True)
+class PlacementEvaluation:
+    """One parallelism matrix with the best strategy per reduction."""
+
+    matrix: ParallelismMatrix
+    choices: Tuple[ReductionChoice, ...]
+
+    @property
+    def total_seconds(self) -> float:
+        """Weighted communication time per training step under this placement."""
+        return sum(choice.weighted_seconds for choice in self.choices)
+
+    @property
+    def total_all_reduce_seconds(self) -> float:
+        return sum(
+            choice.all_reduce_seconds * choice.reduction.weight for choice in self.choices
+        )
+
+    def choice_for(self, name: str) -> ReductionChoice:
+        for choice in self.choices:
+            if choice.reduction.name == name:
+                return choice
+        raise EvaluationError(f"no reduction named {name!r} in this evaluation")
+
+
+@dataclass
+class MultiReductionPlan:
+    """All placements ranked by their combined reduction cost."""
+
+    axes: ParallelismAxes
+    reductions: Tuple[WeightedReduction, ...]
+    algorithm: NCCLAlgorithm
+    placements: List[PlacementEvaluation]
+
+    @property
+    def best(self) -> PlacementEvaluation:
+        if not self.placements:
+            raise EvaluationError("the plan contains no placements")
+        return self.placements[0]
+
+    def placement_for(self, matrix: ParallelismMatrix) -> PlacementEvaluation:
+        for evaluation in self.placements:
+            if evaluation.matrix == matrix:
+                return evaluation
+        raise EvaluationError(f"matrix {matrix.describe()} not in this plan")
+
+    def advantage_over_single_axis_choice(self) -> float:
+        """How much worse the combined cost gets if the placement is chosen by
+        looking only at the single most expensive reduction (a common heuristic)."""
+        if not self.placements:
+            raise EvaluationError("the plan contains no placements")
+        heaviest = max(
+            self.reductions,
+            key=lambda reduction: reduction.bytes_per_device * reduction.weight,
+        )
+        best_for_heaviest = min(
+            self.placements,
+            key=lambda evaluation: evaluation.choice_for(heaviest.name).seconds,
+        )
+        if self.best.total_seconds <= 0:
+            return 1.0
+        return best_for_heaviest.total_seconds / self.best.total_seconds
+
+    def describe(self, top_k: int = 5) -> str:
+        rows = []
+        for evaluation in self.placements[:top_k]:
+            row: List[object] = [evaluation.matrix.describe()]
+            for choice in evaluation.choices:
+                row.append(choice.seconds * 1e3)
+                row.append(choice.mnemonic)
+            row.append(evaluation.total_seconds * 1e3)
+            rows.append(row)
+        headers = ["placement"]
+        for reduction in self.reductions:
+            headers.extend([f"{reduction.name} (ms)", "strategy"])
+        headers.append("weighted total (ms)")
+        return format_table(
+            headers,
+            rows,
+            title=f"Placement plan for {self.axes.describe()} ({self.algorithm})",
+            float_fmt="{:.2f}",
+        )
+
+
+@dataclass
+class MultiReductionPlanner:
+    """Plans placements that minimise the combined cost of several reductions."""
+
+    topology: MachineTopology
+    cost_model: CostModel = field(default_factory=CostModel)
+    max_program_size: int = 3
+    node_limit: int = 500_000
+
+    def plan(
+        self,
+        axes: ParallelismAxes,
+        reductions: Sequence[WeightedReduction],
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+        max_matrices: Optional[int] = None,
+    ) -> MultiReductionPlan:
+        """Evaluate every placement against every reduction and rank them."""
+        if not reductions:
+            raise EvaluationError("at least one reduction is required")
+        names = [r.name for r in reductions]
+        if len(set(names)) != len(names):
+            raise EvaluationError(f"reduction names must be unique, got {names}")
+        for reduction in reductions:
+            reduction.request.validate_against(axes)
+
+        matrices = enumerate_parallelism_matrices(
+            self.topology.hierarchy, axes, max_results=max_matrices
+        )
+        if not matrices:
+            raise EvaluationError(
+                f"no parallelism matrix exists for {axes.describe()} on "
+                f"{self.topology.hierarchy.describe()}"
+            )
+
+        simulator = ProgramSimulator(self.topology, self.cost_model)
+        synthesizer = Synthesizer(
+            max_program_size=self.max_program_size, node_limit=self.node_limit
+        )
+        evaluations: List[PlacementEvaluation] = []
+        for matrix in matrices:
+            placement = DevicePlacement(matrix)
+            choices: List[ReductionChoice] = []
+            for reduction in reductions:
+                choices.append(
+                    self._best_choice(
+                        reduction, matrix, placement, synthesizer, simulator, algorithm
+                    )
+                )
+            evaluations.append(PlacementEvaluation(matrix=matrix, choices=tuple(choices)))
+        evaluations.sort(key=lambda evaluation: evaluation.total_seconds)
+        return MultiReductionPlan(
+            axes=axes,
+            reductions=tuple(reductions),
+            algorithm=algorithm,
+            placements=evaluations,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _best_choice(
+        self,
+        reduction: WeightedReduction,
+        matrix: ParallelismMatrix,
+        placement: DevicePlacement,
+        synthesizer: Synthesizer,
+        simulator: ProgramSimulator,
+        algorithm: NCCLAlgorithm,
+    ) -> ReductionChoice:
+        baseline = default_all_reduce(placement, reduction.request)
+        if baseline.num_steps == 0:
+            return ReductionChoice(
+                reduction=reduction,
+                program=baseline,
+                mnemonic="-",
+                seconds=0.0,
+                all_reduce_seconds=0.0,
+            )
+        baseline_seconds = simulator.simulate(
+            baseline, reduction.bytes_per_device, algorithm
+        ).total_seconds
+
+        best_program = baseline
+        best_mnemonic = "AR"
+        best_seconds = baseline_seconds
+
+        hierarchy = build_synthesis_hierarchy(matrix, reduction.request)
+        result = synthesizer.synthesize(hierarchy)
+        for synthesized in result.programs:
+            lowered = lower_synthesized(synthesized, hierarchy, placement)
+            seconds = simulator.simulate(
+                lowered, reduction.bytes_per_device, algorithm
+            ).total_seconds
+            if seconds < best_seconds:
+                best_seconds = seconds
+                best_program = lowered
+                best_mnemonic = program_mnemonic(synthesized.program)
+        return ReductionChoice(
+            reduction=reduction,
+            program=best_program,
+            mnemonic=best_mnemonic,
+            seconds=best_seconds,
+            all_reduce_seconds=baseline_seconds,
+        )

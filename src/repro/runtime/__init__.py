@@ -1,0 +1,35 @@
+"""In-memory multi-device runtime.
+
+This package plays the role NCCL/XLA execution plays in the paper, in two ways:
+
+* **Functional execution** — :mod:`repro.runtime.cluster` /
+  :mod:`repro.runtime.executor` hold one NumPy buffer per device and execute a
+  lowered program's collectives chunk by chunk, so every synthesized strategy
+  can be checked to compute *numerically* the same result as the requested
+  reduction (:mod:`repro.runtime.verification`).
+* **Timing measurement** — :mod:`repro.runtime.events` is a flow-level
+  discrete-event simulator with max-min fair bandwidth sharing and a noise
+  model (:mod:`repro.runtime.noise`).  It is intentionally a finer-grained and
+  *different* model than the analytic predictor in :mod:`repro.cost`, and
+  stands in for the paper's GCP measurements ("the testbed") when evaluating
+  predictor accuracy (Table 5, Figure 11).
+"""
+
+from repro.runtime.device import SimDevice
+from repro.runtime.cluster import SimCluster
+from repro.runtime.executor import CollectiveExecutor, execute_program
+from repro.runtime.verification import verify_program
+from repro.runtime.noise import NoiseModel
+from repro.runtime.events import FlowNetwork, TestbedSimulator, MeasurementResult
+
+__all__ = [
+    "SimDevice",
+    "SimCluster",
+    "CollectiveExecutor",
+    "execute_program",
+    "verify_program",
+    "NoiseModel",
+    "FlowNetwork",
+    "TestbedSimulator",
+    "MeasurementResult",
+]

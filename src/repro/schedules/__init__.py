@@ -1,0 +1,43 @@
+"""Chunk-level schedules for the collectives (the "inside" of NCCL).
+
+The cost model (:mod:`repro.cost.nccl`) prices a collective with the classic
+ring / tree formulas; this package makes those algorithms concrete by
+generating the actual per-round send/receive schedules:
+
+* :mod:`repro.schedules.ring` — ring ReduceScatter, AllGather, AllReduce,
+  Reduce and Broadcast (pipelined chains),
+* :mod:`repro.schedules.tree` — binomial-tree Reduce, Broadcast and AllReduce,
+* :mod:`repro.schedules.executor` — executes a schedule transfer-by-transfer
+  on the in-memory cluster, so schedules can be verified against the
+  collective-level executor, and
+* :mod:`repro.schedules.transfer` — the schedule data model plus per-device
+  traffic statistics (used to cross-check the alpha-beta cost factors).
+
+This is the SCCL-adjacent substrate: it demonstrates that every collective
+step of a lowered program can be realised as point-to-point transfers on the
+modelled topology, and it pins the cost model's byte counts to an executable
+artifact.
+"""
+
+from repro.schedules.transfer import (
+    CollectiveSchedule,
+    ScheduleRound,
+    ScheduleStatistics,
+    Transfer,
+    schedule_statistics,
+)
+from repro.schedules.ring import build_ring_schedule
+from repro.schedules.tree import build_tree_schedule
+from repro.schedules.executor import ScheduleExecutor, execute_schedule
+
+__all__ = [
+    "Transfer",
+    "ScheduleRound",
+    "CollectiveSchedule",
+    "ScheduleStatistics",
+    "schedule_statistics",
+    "build_ring_schedule",
+    "build_tree_schedule",
+    "ScheduleExecutor",
+    "execute_schedule",
+]

@@ -1,0 +1,154 @@
+"""Schedule data model: transfers, rounds, whole-collective schedules.
+
+A schedule partitions the group's payload into ``num_blocks`` equal *blocks*
+(NCCL's chunks) and moves blocks between group members over a sequence of
+*rounds*.  Within a round all transfers are concurrent; a transfer either
+accumulates into the destination (``reduce=True``, used while reducing) or
+overwrites it (``reduce=False``, used while gathering / broadcasting).
+
+Block indices are local to the collective; the executor maps them onto the
+global chunk ranges the devices actually hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.semantics.collectives import Collective
+
+__all__ = [
+    "Transfer",
+    "ScheduleRound",
+    "CollectiveSchedule",
+    "ScheduleStatistics",
+    "schedule_statistics",
+]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """Move one block from ``src`` to ``dst`` (positions within the group)."""
+
+    src: int
+    dst: int
+    block: int
+    reduce: bool
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ReproError("a transfer cannot have the same source and destination")
+        if self.src < 0 or self.dst < 0 or self.block < 0:
+            raise ReproError("transfer indices must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScheduleRound:
+    """All transfers that happen concurrently in one round."""
+
+    transfers: Tuple[Transfer, ...]
+
+    def __post_init__(self) -> None:
+        # A device cannot receive the same block twice in one round.
+        seen = set()
+        for transfer in self.transfers:
+            key = (transfer.dst, transfer.block)
+            if key in seen:
+                raise ReproError(
+                    f"device {transfer.dst} receives block {transfer.block} twice in one round"
+                )
+            seen.add(key)
+
+    @property
+    def num_transfers(self) -> int:
+        return len(self.transfers)
+
+
+@dataclass(frozen=True)
+class CollectiveSchedule:
+    """A complete chunk-level implementation of one collective over one group.
+
+    ``result_blocks`` records, per group position, which blocks that member
+    holds (valid and fully combined) once the schedule has run; an empty tuple
+    means "every member holds every block" (AllReduce / AllGather / Broadcast).
+    """
+
+    collective: Collective
+    group_size: int
+    num_blocks: int
+    rounds: Tuple[ScheduleRound, ...]
+    algorithm: str = "ring"
+    result_blocks: Tuple[Tuple[int, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.group_size < 2:
+            raise ReproError("a schedule needs a group of at least 2 devices")
+        if self.num_blocks < 1:
+            raise ReproError("a schedule needs at least one block")
+        for round_ in self.rounds:
+            for transfer in round_.transfers:
+                if transfer.src >= self.group_size or transfer.dst >= self.group_size:
+                    raise ReproError("transfer references a position outside the group")
+                if transfer.block >= self.num_blocks:
+                    raise ReproError("transfer references a block outside the payload")
+        if self.result_blocks:
+            if len(self.result_blocks) != self.group_size:
+                raise ReproError("result_blocks must list one entry per group member")
+            for blocks in self.result_blocks:
+                for block in blocks:
+                    if not 0 <= block < self.num_blocks:
+                        raise ReproError(f"result block {block} out of range")
+
+    def member_result_blocks(self, position: int) -> Tuple[int, ...]:
+        """Blocks the member at ``position`` holds after the schedule runs."""
+        if not 0 <= position < self.group_size:
+            raise ReproError(f"position {position} out of range")
+        if not self.result_blocks:
+            return tuple(range(self.num_blocks))
+        return self.result_blocks[position]
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def num_transfers(self) -> int:
+        return sum(r.num_transfers for r in self.rounds)
+
+    def describe(self) -> str:
+        return (
+            f"{self.algorithm} {self.collective} over {self.group_size} devices: "
+            f"{self.num_rounds} rounds, {self.num_transfers} transfers, "
+            f"{self.num_blocks} blocks"
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleStatistics:
+    """Per-device traffic implied by a schedule, in units of one block."""
+
+    max_blocks_sent: int
+    max_blocks_received: int
+    total_transfers: int
+    num_rounds: int
+
+    def bytes_sent_per_device(self, payload_bytes: float, num_blocks: int) -> float:
+        """Bytes the busiest device sends, for a per-device payload of ``payload_bytes``."""
+        return self.max_blocks_sent * payload_bytes / num_blocks
+
+
+def schedule_statistics(schedule: CollectiveSchedule) -> ScheduleStatistics:
+    """Compute per-device send/receive counts for a schedule."""
+    sent: Dict[int, int] = {}
+    received: Dict[int, int] = {}
+    for round_ in schedule.rounds:
+        for transfer in round_.transfers:
+            sent[transfer.src] = sent.get(transfer.src, 0) + 1
+            received[transfer.dst] = received.get(transfer.dst, 0) + 1
+    return ScheduleStatistics(
+        max_blocks_sent=max(sent.values(), default=0),
+        max_blocks_received=max(received.values(), default=0),
+        total_transfers=schedule.num_transfers,
+        num_rounds=schedule.num_rounds,
+    )

@@ -1,0 +1,233 @@
+"""Device state matrices and state contexts.
+
+A :class:`DeviceState` is the boolean ``k x k`` matrix of paper Figure 7,
+stored as one integer bitmask per row (row ``r`` = chunk ``r``; bit ``c`` set
+means device ``c``'s original chunk ``r`` contributes to the value held for
+that chunk).  Integer bitmasks keep states hashable — the synthesizer
+memoizes visited contexts — and make the disjointness / subset checks of the
+Hoare rules single ``&``/``|`` operations.
+
+A :class:`StateContext` maps device indices to states.  Contexts are immutable
+value objects; "updating" a context returns a new one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SemanticsError
+
+__all__ = ["DeviceState", "StateContext"]
+
+
+@dataclass(frozen=True)
+class DeviceState:
+    """The data a single device currently holds, as per-chunk contribution masks."""
+
+    num_chunks: int
+    rows: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.num_chunks < 1:
+            raise SemanticsError(f"num_chunks must be >= 1, got {self.num_chunks}")
+        if len(self.rows) != self.num_chunks:
+            raise SemanticsError(
+                f"state has {len(self.rows)} rows but num_chunks={self.num_chunks}"
+            )
+        full = (1 << self.num_chunks) - 1
+        for r, mask in enumerate(self.rows):
+            if mask < 0 or mask & ~full:
+                raise SemanticsError(
+                    f"row {r} mask {mask:#x} has bits outside the {self.num_chunks} devices"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, num_chunks: int) -> "DeviceState":
+        """A device holding no data at all."""
+        return cls(num_chunks, tuple([0] * num_chunks))
+
+    @classmethod
+    def initial(cls, num_chunks: int, device: int) -> "DeviceState":
+        """The initial state of ``device``: every chunk present, contributed only by itself."""
+        if not 0 <= device < num_chunks:
+            raise SemanticsError(f"device {device} out of range for {num_chunks} devices")
+        return cls(num_chunks, tuple([1 << device] * num_chunks))
+
+    @classmethod
+    def full(cls, num_chunks: int, contributors: Iterable[int] = None) -> "DeviceState":
+        """Every chunk present and reduced over ``contributors`` (default: everyone)."""
+        if contributors is None:
+            mask = (1 << num_chunks) - 1
+        else:
+            mask = 0
+            for c in contributors:
+                if not 0 <= c < num_chunks:
+                    raise SemanticsError(f"contributor {c} out of range")
+                mask |= 1 << c
+        return cls(num_chunks, tuple([mask] * num_chunks))
+
+    @classmethod
+    def from_matrix(cls, matrix: Sequence[Sequence[int]]) -> "DeviceState":
+        """Build a state from an explicit 0/1 matrix (row = chunk, column = contributor)."""
+        num_chunks = len(matrix)
+        rows: List[int] = []
+        for r, row in enumerate(matrix):
+            if len(row) != num_chunks:
+                raise SemanticsError(f"state matrices must be square; row {r} is not")
+            mask = 0
+            for c, bit in enumerate(row):
+                if bit not in (0, 1):
+                    raise SemanticsError(f"matrix entries must be 0/1, got {bit!r}")
+                if bit:
+                    mask |= 1 << c
+            rows.append(mask)
+        return cls(num_chunks, tuple(rows))
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the Hoare rules
+    # ------------------------------------------------------------------ #
+    @property
+    def non_empty_rows(self) -> Tuple[int, ...]:
+        """Indices of rows with at least one contributor (the paper's ``rows`` function)."""
+        return tuple(r for r, mask in enumerate(self.rows) if mask)
+
+    @property
+    def num_non_empty_rows(self) -> int:
+        return sum(1 for mask in self.rows if mask)
+
+    @property
+    def is_empty(self) -> bool:
+        return all(m == 0 for m in self.rows)
+
+    def row(self, r: int) -> int:
+        return self.rows[r]
+
+    def contributors(self, r: int) -> Tuple[int, ...]:
+        """Devices whose original chunk ``r`` is folded into this device's chunk ``r``."""
+        mask = self.rows[r]
+        return tuple(c for c in range(self.num_chunks) if mask & (1 << c))
+
+    def chunk_fraction(self) -> float:
+        """Fraction of the full payload currently materialised on this device.
+
+        Used by the cost model: the payload is split into ``num_chunks`` equal
+        chunks, so the bytes a device holds are proportional to the number of
+        non-empty rows.
+        """
+        return len(self.non_empty_rows) / self.num_chunks
+
+    # ------------------------------------------------------------------ #
+    # Order / algebra
+    # ------------------------------------------------------------------ #
+    def union(self, other: "DeviceState") -> "DeviceState":
+        """Element-wise OR (the paper's ``⊎`` once disjointness has been checked)."""
+        self._check_compatible(other)
+        return DeviceState(
+            self.num_chunks, tuple(a | b for a, b in zip(self.rows, other.rows))
+        )
+
+    def is_subset_of(self, other: "DeviceState") -> bool:
+        """Element-wise ``<=`` (the paper's information order on states)."""
+        self._check_compatible(other)
+        return all((a & ~b) == 0 for a, b in zip(self.rows, other.rows))
+
+    def is_strict_subset_of(self, other: "DeviceState") -> bool:
+        return self.is_subset_of(other) and self != other
+
+    def rows_disjoint_with(self, other: "DeviceState") -> bool:
+        """True if no chunk has a contributor present in both states."""
+        self._check_compatible(other)
+        return all((a & b) == 0 for a, b in zip(self.rows, other.rows))
+
+    def row_sets_disjoint_with(self, other: "DeviceState") -> bool:
+        """True if the two states have no non-empty row index in common."""
+        self._check_compatible(other)
+        return not (set(self.non_empty_rows) & set(other.non_empty_rows))
+
+    def _check_compatible(self, other: "DeviceState") -> None:
+        if self.num_chunks != other.num_chunks:
+            raise SemanticsError(
+                f"state size mismatch: {self.num_chunks} vs {other.num_chunks}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Presentation / conversion
+    # ------------------------------------------------------------------ #
+    def to_matrix(self) -> np.ndarray:
+        """Return the state as a dense ``uint8`` 0/1 matrix (rows = chunks)."""
+        out = np.zeros((self.num_chunks, self.num_chunks), dtype=np.uint8)
+        for r, mask in enumerate(self.rows):
+            for c in range(self.num_chunks):
+                if mask & (1 << c):
+                    out[r, c] = 1
+        return out
+
+    def describe(self) -> str:
+        lines = []
+        for r, mask in enumerate(self.rows):
+            bits = "".join("1" if mask & (1 << c) else "." for c in range(self.num_chunks))
+            lines.append(f"chunk {r}: {bits}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StateContext:
+    """States of all devices participating in a synthesis problem."""
+
+    states: Tuple[DeviceState, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.states) == 0:
+            raise SemanticsError("a state context needs at least one device")
+        sizes = {s.num_chunks for s in self.states}
+        if len(sizes) != 1:
+            raise SemanticsError(f"all states must have the same size, got {sizes}")
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, DeviceState]) -> "StateContext":
+        devices = sorted(mapping)
+        if devices != list(range(len(devices))):
+            raise SemanticsError(
+                f"state contexts must cover devices 0..n-1 contiguously, got {devices}"
+            )
+        return cls(tuple(mapping[d] for d in devices))
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_chunks(self) -> int:
+        return self.states[0].num_chunks
+
+    def __getitem__(self, device: int) -> DeviceState:
+        return self.states[device]
+
+    def __iter__(self) -> Iterator[DeviceState]:
+        return iter(self.states)
+
+    def replace(self, updates: Mapping[int, DeviceState]) -> "StateContext":
+        """Return a new context with the given per-device states substituted."""
+        new_states = list(self.states)
+        for device, state in updates.items():
+            if not 0 <= device < self.num_devices:
+                raise SemanticsError(f"device {device} out of range")
+            if state.num_chunks != self.num_chunks:
+                raise SemanticsError("replacement state has the wrong size")
+            new_states[device] = state
+        return StateContext(tuple(new_states))
+
+    def describe(self) -> str:
+        parts = []
+        for d, state in enumerate(self.states):
+            rows = ",".join(
+                f"{r}:{state.row(r):0{self.num_chunks}b}" for r in state.non_empty_rows
+            )
+            parts.append(f"d{d}{{{rows}}}")
+        return " ".join(parts)

@@ -1,0 +1,38 @@
+"""Reduction-strategy synthesis (paper §2.5, §3.4, §3.5).
+
+* :mod:`repro.synthesis.hierarchy` — the four candidate synthesis hierarchies
+  (system, column-based, row-based, reduction-axis) and factor collapsing.
+* :mod:`repro.synthesis.synthesizer` — enumerative, syntax-guided search for
+  semantically valid reduction programs in increasing program size.
+* :mod:`repro.synthesis.lowering` — mapping synthesized programs to concrete
+  per-step physical device groups, and validating the lowered result against
+  the requested reduction.
+* :mod:`repro.synthesis.pipeline` — the end-to-end P² front-end: enumerate
+  parallelism matrices, synthesize programs for each, lower everything.
+"""
+
+from repro.synthesis.hierarchy import (
+    HierarchyVariant,
+    SynthesisHierarchy,
+    SynthesisLevel,
+    build_synthesis_hierarchy,
+)
+from repro.synthesis.synthesizer import SynthesisResult, Synthesizer, synthesize_programs
+from repro.synthesis.lowering import LoweredProgram, LoweredStep, lower_program
+from repro.synthesis.pipeline import PlacementCandidate, ProgramCandidate, synthesize_all
+
+__all__ = [
+    "HierarchyVariant",
+    "SynthesisHierarchy",
+    "SynthesisLevel",
+    "build_synthesis_hierarchy",
+    "SynthesisResult",
+    "Synthesizer",
+    "synthesize_programs",
+    "LoweredProgram",
+    "LoweredStep",
+    "lower_program",
+    "PlacementCandidate",
+    "ProgramCandidate",
+    "synthesize_all",
+]

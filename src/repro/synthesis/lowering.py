@@ -1,0 +1,216 @@
+"""Lowering synthesized programs onto physical devices (paper §3.4).
+
+A synthesized program talks about the *virtual* devices of its synthesis
+hierarchy.  Lowering produces, for every instruction, the concrete groups of
+*physical* device ids that execute the collective in that step:
+
+* matrix positions covered by the hierarchy are taken from the virtual device,
+* free (uncovered) positions — for the reduction-axis hierarchy these are all
+  factors of the non-reduction axes — are swept over every possible value, so
+  the synthesized grouping is replicated once per replica of the reduction
+  pattern, all executing concurrently within the step.
+
+:class:`LoweredProgram` is the artefact every downstream consumer uses: the
+cost model prices it, the runtime executes it, and the evaluation harness
+compares lowered programs produced from different synthesis hierarchies by
+their :meth:`LoweredProgram.signature`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.dsl.program import ReductionProgram
+from repro.errors import InvalidCollectiveError, LoweringError
+from repro.hierarchy.parallelism import ReductionRequest
+from repro.hierarchy.placement import DevicePlacement
+from repro.semantics.collectives import Collective, apply_collective
+from repro.semantics.goals import goal_context, initial_context
+from repro.semantics.state import DeviceState, StateContext
+from repro.synthesis.hierarchy import SynthesisHierarchy
+from repro.synthesis.synthesizer import SynthesizedProgram
+
+__all__ = ["LoweredStep", "LoweredProgram", "lower_program", "lower_synthesized"]
+
+
+@dataclass(frozen=True)
+class LoweredStep:
+    """One step of a lowered program: concurrent device groups running one collective."""
+
+    collective: Collective
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise LoweringError("a lowered step needs at least one device group")
+        seen: set = set()
+        for group in self.groups:
+            if len(group) < 2:
+                raise LoweringError(f"lowered group {group} has fewer than 2 devices")
+            for device in group:
+                if device in seen:
+                    raise LoweringError(
+                        f"device {device} appears in two groups of the same step"
+                    )
+                seen.add(device)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def group_size(self) -> int:
+        """Common group size (steps produced by lowering always have uniform groups)."""
+        return len(self.groups[0])
+
+    @property
+    def devices(self) -> FrozenSet[int]:
+        return frozenset(d for group in self.groups for d in group)
+
+    def describe(self) -> str:
+        preview = ", ".join(
+            "{" + ",".join(str(d) for d in group) + "}" for group in self.groups[:4]
+        )
+        suffix = "" if len(self.groups) <= 4 else f", ... ({len(self.groups)} groups)"
+        return f"{self.collective} over {preview}{suffix}"
+
+
+@dataclass(frozen=True)
+class LoweredProgram:
+    """A fully lowered reduction strategy over physical devices."""
+
+    num_devices: int
+    steps: Tuple[LoweredStep, ...]
+    source: Optional[ReductionProgram] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        for step in self.steps:
+            for group in step.groups:
+                for device in group:
+                    if not 0 <= device < self.num_devices:
+                        raise LoweringError(
+                            f"device {device} out of range for {self.num_devices} devices"
+                        )
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def signature(self) -> Tuple:
+        """Hashable identity of the communication pattern (order-sensitive in steps,
+        order-insensitive in the groups within a step)."""
+        return tuple(
+            (step.collective.value, frozenset(step.groups)) for step in self.steps
+        )
+
+    # ------------------------------------------------------------------ #
+    # Semantic validation over the physical devices
+    # ------------------------------------------------------------------ #
+    def run_semantics(self, initial: StateContext) -> StateContext:
+        """Run the Hoare semantics of every step starting from ``initial``."""
+        context = initial
+        for step in self.steps:
+            updates: Dict[int, DeviceState] = {}
+            for group in step.groups:
+                pre = [context[d] for d in group]
+                post = apply_collective(step.collective, pre)
+                for device, state in zip(group, post):
+                    updates[device] = state
+            context = context.replace(updates)
+        return context
+
+    def validates_against(
+        self, placement: DevicePlacement, request: ReductionRequest
+    ) -> bool:
+        """True if the program implements the requested reduction on every device."""
+        groups = placement.reduction_groups(request)
+        initial = initial_context(self.num_devices)
+        goal = goal_context(self.num_devices, groups)
+        try:
+            return self.run_semantics(initial) == goal
+        except InvalidCollectiveError:
+            return False
+
+    def describe(self) -> str:
+        name = self.label or (self.source.describe() if self.source else "<lowered>")
+        steps = "; ".join(f"{s.collective}x{s.num_groups}(g={s.group_size})" for s in self.steps)
+        return f"{name}: {steps}"
+
+
+# --------------------------------------------------------------------------- #
+# Lowering
+# --------------------------------------------------------------------------- #
+def lower_synthesized(
+    synthesized: SynthesizedProgram,
+    hierarchy: SynthesisHierarchy,
+    placement: DevicePlacement,
+    label: str = "",
+) -> LoweredProgram:
+    """Lower a synthesizer output (which carries its per-step virtual groups)."""
+    return _lower(
+        synthesized.program, synthesized.step_groups, hierarchy, placement, label
+    )
+
+
+def lower_program(
+    program: ReductionProgram,
+    hierarchy: SynthesisHierarchy,
+    placement: DevicePlacement,
+    label: str = "",
+) -> LoweredProgram:
+    """Lower an arbitrary DSL program by first deriving its virtual groups."""
+    step_groups = tuple(
+        instruction.groups(hierarchy.radices) for instruction in program
+    )
+    for instruction, groups in zip(program, step_groups):
+        if not groups:
+            raise LoweringError(
+                f"instruction {instruction.describe(hierarchy.names)} induces no groups"
+            )
+    return _lower(program, step_groups, hierarchy, placement, label)
+
+
+def _lower(
+    program: ReductionProgram,
+    step_groups: Sequence[Tuple[Tuple[int, ...], ...]],
+    hierarchy: SynthesisHierarchy,
+    placement: DevicePlacement,
+    label: str,
+) -> LoweredProgram:
+    if placement.matrix != hierarchy.matrix:
+        raise LoweringError("placement and synthesis hierarchy use different matrices")
+
+    free_assignments: List[Tuple[int, ...]] = list(hierarchy.free_radix) or [()]
+    # Cache the virtual -> physical map per free assignment; each virtual device
+    # is looked up many times across steps.
+    device_maps: List[Dict[int, int]] = []
+    for free_digits in free_assignments:
+        mapping = {
+            virtual: hierarchy.physical_device(placement, virtual, free_digits)
+            for virtual in range(hierarchy.num_virtual_devices)
+        }
+        device_maps.append(mapping)
+
+    lowered_steps: List[LoweredStep] = []
+    for instruction, virtual_groups in zip(program, step_groups):
+        physical_groups: List[Tuple[int, ...]] = []
+        for mapping in device_maps:
+            for group in virtual_groups:
+                physical_groups.append(tuple(mapping[v] for v in group))
+        lowered_steps.append(
+            LoweredStep(collective=instruction.collective, groups=tuple(physical_groups))
+        )
+    return LoweredProgram(
+        num_devices=placement.num_devices,
+        steps=tuple(lowered_steps),
+        source=program,
+        label=label,
+    )

@@ -1,0 +1,168 @@
+"""The end-to-end P² synthesis pipeline.
+
+Given a system hierarchy, the parallelism axes and a reduction request, the
+pipeline
+
+1. enumerates every parallelism matrix (placement synthesis, §3.1),
+2. builds the reduction-axis synthesis hierarchy for each matrix (§3.4),
+3. synthesizes all valid reduction programs up to the size limit (§3.5),
+4. lowers each program to physical device groups, and
+5. validates every lowered program against the requested reduction.
+
+The result is a list of :class:`PlacementCandidate`, each carrying its
+:class:`ProgramCandidate` list.  Costing / ranking is deliberately *not* done
+here — the evaluation package combines these candidates with a topology and a
+cost model — so the pipeline stays a pure, deterministic function of its
+arguments and is easy to test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dsl.pretty import program_mnemonic
+from repro.errors import SynthesisError
+from repro.hierarchy.levels import SystemHierarchy
+from repro.hierarchy.matrix import ParallelismMatrix, enumerate_parallelism_matrices
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.hierarchy.placement import DevicePlacement
+from repro.synthesis.hierarchy import (
+    HierarchyVariant,
+    SynthesisHierarchy,
+    build_synthesis_hierarchy,
+)
+from repro.synthesis.lowering import LoweredProgram, lower_synthesized
+from repro.synthesis.synthesizer import (
+    DEFAULT_MAX_PROGRAM_SIZE,
+    SynthesisResult,
+    Synthesizer,
+)
+
+__all__ = ["ProgramCandidate", "PlacementCandidate", "synthesize_all"]
+
+
+@dataclass(frozen=True)
+class ProgramCandidate:
+    """One synthesized-and-lowered reduction strategy for a placement."""
+
+    lowered: LoweredProgram
+    mnemonic: str
+    size: int
+    is_default_all_reduce: bool = False
+
+    def describe(self) -> str:
+        tag = " (default)" if self.is_default_all_reduce else ""
+        return f"{self.mnemonic}{tag}: {self.lowered.describe()}"
+
+
+@dataclass
+class PlacementCandidate:
+    """A parallelism matrix together with every strategy synthesized for it."""
+
+    matrix: ParallelismMatrix
+    placement: DevicePlacement
+    hierarchy: SynthesisHierarchy
+    synthesis: SynthesisResult
+    programs: List[ProgramCandidate] = field(default_factory=list)
+    synthesis_seconds: float = 0.0
+
+    @property
+    def num_programs(self) -> int:
+        return len(self.programs)
+
+    @property
+    def default_program(self) -> Optional[ProgramCandidate]:
+        """The single-step AllReduce candidate, if the reduction needs one at all."""
+        for candidate in self.programs:
+            if candidate.is_default_all_reduce:
+                return candidate
+        return None
+
+    def describe(self) -> str:
+        return (
+            f"matrix {self.matrix.describe()}: {self.num_programs} programs "
+            f"(synthesis {self.synthesis_seconds:.3f}s)"
+        )
+
+
+def synthesize_all(
+    hierarchy: SystemHierarchy,
+    axes: ParallelismAxes,
+    request: ReductionRequest,
+    max_program_size: int = DEFAULT_MAX_PROGRAM_SIZE,
+    variant: HierarchyVariant = HierarchyVariant.REDUCTION_COLLAPSED,
+    node_limit: int = 500_000,
+    validate: bool = True,
+    max_matrices: Optional[int] = None,
+) -> List[PlacementCandidate]:
+    """Run the full P² synthesis pipeline.
+
+    Parameters
+    ----------
+    validate:
+        When true (default) every lowered program is checked against the
+        requested reduction over the physical devices; failures raise
+        :class:`~repro.errors.SynthesisError` because they indicate a bug, not
+        a user error.
+    max_matrices:
+        Optional cap on the number of parallelism matrices considered.
+    """
+    request.validate_against(axes)
+    matrices = enumerate_parallelism_matrices(hierarchy, axes, max_results=max_matrices)
+    if not matrices:
+        raise SynthesisError(
+            f"no parallelism matrix exists for hierarchy {hierarchy.describe()} and "
+            f"axes {axes.describe()} (device count {hierarchy.num_devices} vs "
+            f"total parallelism {axes.total_parallelism})"
+        )
+
+    synthesizer = Synthesizer(max_program_size=max_program_size, node_limit=node_limit)
+    candidates: List[PlacementCandidate] = []
+    for matrix in matrices:
+        placement = DevicePlacement(matrix)
+        synthesis_hierarchy = build_synthesis_hierarchy(matrix, request, variant)
+        start = time.perf_counter()
+        result = synthesizer.synthesize(synthesis_hierarchy)
+        elapsed = time.perf_counter() - start
+
+        programs: List[ProgramCandidate] = []
+        for synthesized in result.programs:
+            lowered = lower_synthesized(
+                synthesized,
+                synthesis_hierarchy,
+                placement,
+                label=synthesized.program.describe(synthesis_hierarchy.names),
+            )
+            if validate and not lowered.validates_against(placement, request):
+                raise SynthesisError(
+                    "synthesized program failed physical validation: "
+                    f"{synthesized.program.describe(synthesis_hierarchy.names)} on "
+                    f"matrix {matrix.describe()}"
+                )
+            is_default = (
+                len(synthesized.program) == 1
+                and synthesized.program[0].collective.value == "AllReduce"
+                and synthesized.program[0].slice_level == 0
+            )
+            programs.append(
+                ProgramCandidate(
+                    lowered=lowered,
+                    mnemonic=program_mnemonic(synthesized.program),
+                    size=synthesized.size,
+                    is_default_all_reduce=is_default,
+                )
+            )
+
+        candidates.append(
+            PlacementCandidate(
+                matrix=matrix,
+                placement=placement,
+                hierarchy=synthesis_hierarchy,
+                synthesis=result,
+                programs=programs,
+                synthesis_seconds=elapsed,
+            )
+        )
+    return candidates

@@ -1,0 +1,64 @@
+"""Search-space pruning predicates used by the synthesizer.
+
+Two cheap necessary conditions keep the enumerative search small:
+
+* **Goal-boundedness** — contributions, once folded into a device's chunk,
+  are never separated again (the Hoare rules only grow, clear or copy rows).
+  Therefore every row of every device state must stay a subset of that
+  device's goal row; as soon as some device holds a contribution its goal
+  forbids, the branch can never reach the goal and is cut.  This is exactly
+  the argument behind Lemma B.3 in the paper's appendix.
+* **Progress/feasibility** — with at most ``remaining`` further instructions,
+  the goal must still be reachable in principle.  We use a very cheap bound:
+  if no instruction remains and the context is not the goal, cut.
+
+Both predicates are pure functions of state contexts so they can be unit- and
+property-tested independently of the search itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.semantics.state import StateContext
+
+__all__ = ["context_within_goal", "SearchStatistics"]
+
+
+def context_within_goal(context: StateContext, goal: StateContext) -> bool:
+    """True if every device row is a subset of the corresponding goal row."""
+    for device in range(context.num_devices):
+        state = context[device]
+        goal_state = goal[device]
+        for r in range(state.num_chunks):
+            if state.row(r) & ~goal_state.row(r):
+                return False
+    return True
+
+
+@dataclass
+class SearchStatistics:
+    """Counters describing one synthesis run (reported in the evaluation tables)."""
+
+    nodes_expanded: int = 0
+    steps_attempted: int = 0
+    steps_invalid: int = 0
+    branches_pruned_goal: int = 0
+    programs_found: int = 0
+    duplicate_programs: int = 0
+    hit_node_limit: bool = False
+    per_size_counts: Dict[int, int] = field(default_factory=dict)
+
+    def record_program(self, size: int) -> None:
+        self.programs_found += 1
+        self.per_size_counts[size] = self.per_size_counts.get(size, 0) + 1
+
+    def describe(self) -> str:
+        sizes = ", ".join(f"size {k}: {v}" for k, v in sorted(self.per_size_counts.items()))
+        return (
+            f"{self.programs_found} programs "
+            f"({sizes or 'none'}); expanded {self.nodes_expanded} nodes, "
+            f"{self.steps_invalid}/{self.steps_attempted} steps invalid, "
+            f"{self.branches_pruned_goal} goal-pruned"
+        )

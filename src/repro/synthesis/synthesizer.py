@@ -1,0 +1,192 @@
+"""Enumerative, syntax-guided synthesis of reduction programs (paper §3.5).
+
+The synthesizer explores sequences of reduction instructions in increasing
+program size (iterative deepening over a depth-first search).  Each candidate
+step must satisfy the Hoare precondition of its collective on every device
+group it touches; every intermediate context must remain goal-bounded (see
+:mod:`repro.synthesis.pruning`).  A program is emitted when the context equals
+the goal context.
+
+The instruction alphabet is derived once per synthesis hierarchy from
+:func:`repro.dsl.grouping.enumerate_instructions`; instructions that induce
+identical device groupings are de-duplicated there, which is why radix-1
+levels in hierarchies like ``[1 2 1 2]`` do not blow up the search.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dsl.grouping import Groups, enumerate_instructions
+from repro.dsl.program import ReductionInstruction, ReductionProgram
+from repro.errors import InvalidCollectiveError, SynthesisError
+from repro.semantics.collectives import ALL_COLLECTIVES, Collective
+from repro.semantics.state import StateContext
+from repro.synthesis.hierarchy import SynthesisHierarchy
+from repro.synthesis.pruning import SearchStatistics, context_within_goal
+
+__all__ = ["SynthesizedProgram", "SynthesisResult", "Synthesizer", "synthesize_programs"]
+
+DEFAULT_MAX_PROGRAM_SIZE = 5
+DEFAULT_NODE_LIMIT = 500_000
+
+
+@dataclass(frozen=True)
+class SynthesizedProgram:
+    """A valid program together with its per-step virtual device groups."""
+
+    program: ReductionProgram
+    step_groups: Tuple[Groups, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.program)
+
+    def describe(self, level_names: Optional[Sequence[str]] = None) -> str:
+        return self.program.describe(level_names)
+
+
+@dataclass
+class SynthesisResult:
+    """Everything produced by one synthesis run."""
+
+    hierarchy: SynthesisHierarchy
+    programs: List[SynthesizedProgram]
+    statistics: SearchStatistics
+    elapsed_seconds: float
+    max_program_size: int
+
+    @property
+    def num_programs(self) -> int:
+        return len(self.programs)
+
+    def sorted_by_size(self) -> List[SynthesizedProgram]:
+        return sorted(self.programs, key=lambda p: p.size)
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_programs} programs for {self.hierarchy.describe()} "
+            f"in {self.elapsed_seconds:.3f}s ({self.statistics.describe()})"
+        )
+
+
+@dataclass
+class Synthesizer:
+    """Configurable enumerative synthesizer.
+
+    Parameters
+    ----------
+    max_program_size:
+        Maximum number of instructions per program (the paper uses 5).
+    collectives:
+        The collective alphabet; defaults to all five operations.
+    node_limit:
+        Safety cap on the number of expanded search nodes.
+    deduplicate_instructions:
+        Skip instructions whose induced grouping duplicates an earlier one.
+    """
+
+    max_program_size: int = DEFAULT_MAX_PROGRAM_SIZE
+    collectives: Tuple[Collective, ...] = ALL_COLLECTIVES
+    node_limit: int = DEFAULT_NODE_LIMIT
+    deduplicate_instructions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_program_size < 1:
+            raise SynthesisError("max_program_size must be >= 1")
+        if self.node_limit < 1:
+            raise SynthesisError("node_limit must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    # Instruction alphabet
+    # ------------------------------------------------------------------ #
+    def instruction_alphabet(
+        self, hierarchy: SynthesisHierarchy
+    ) -> List[Tuple[ReductionInstruction, Groups]]:
+        """All candidate instructions (with their groups) over ``hierarchy``."""
+        alphabet: List[Tuple[ReductionInstruction, Groups]] = []
+        for slice_level, form, op, groups in enumerate_instructions(
+            hierarchy.radices,
+            collectives=self.collectives,
+            deduplicate=self.deduplicate_instructions,
+        ):
+            alphabet.append((ReductionInstruction(slice_level, form, op), groups))
+        return alphabet
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def synthesize(self, hierarchy: SynthesisHierarchy) -> SynthesisResult:
+        """Enumerate every valid program of size up to ``max_program_size``."""
+        start = time.perf_counter()
+        alphabet = self.instruction_alphabet(hierarchy)
+        initial = hierarchy.initial_context()
+        goal = hierarchy.goal()
+        statistics = SearchStatistics()
+        programs: List[SynthesizedProgram] = []
+        seen_signatures: set = set()
+
+        if initial == goal:
+            # Degenerate case: nothing to reduce (reduction group size 1).
+            elapsed = time.perf_counter() - start
+            return SynthesisResult(hierarchy, programs, statistics, elapsed, self.max_program_size)
+
+        prefix_instructions: List[ReductionInstruction] = []
+        prefix_groups: List[Groups] = []
+
+        def _dfs(context: StateContext, depth: int) -> None:
+            if statistics.nodes_expanded >= self.node_limit:
+                statistics.hit_node_limit = True
+                return
+            statistics.nodes_expanded += 1
+            for instruction, groups in alphabet:
+                if statistics.hit_node_limit:
+                    return
+                statistics.steps_attempted += 1
+                try:
+                    next_context = instruction.apply_to_groups(context, groups)
+                except InvalidCollectiveError:
+                    statistics.steps_invalid += 1
+                    continue
+                if not context_within_goal(next_context, goal):
+                    statistics.branches_pruned_goal += 1
+                    continue
+                prefix_instructions.append(instruction)
+                prefix_groups.append(groups)
+                if next_context == goal:
+                    program = ReductionProgram(tuple(prefix_instructions))
+                    signature = program.signature()
+                    if signature in seen_signatures:
+                        statistics.duplicate_programs += 1
+                    else:
+                        seen_signatures.add(signature)
+                        programs.append(
+                            SynthesizedProgram(program, tuple(prefix_groups))
+                        )
+                        statistics.record_program(len(program))
+                elif depth + 1 < self.max_program_size:
+                    _dfs(next_context, depth + 1)
+                prefix_instructions.pop()
+                prefix_groups.pop()
+
+        _dfs(initial, 0)
+        elapsed = time.perf_counter() - start
+        programs.sort(key=lambda p: (p.size, p.program.signature()))
+        return SynthesisResult(hierarchy, programs, statistics, elapsed, self.max_program_size)
+
+
+def synthesize_programs(
+    hierarchy: SynthesisHierarchy,
+    max_program_size: int = DEFAULT_MAX_PROGRAM_SIZE,
+    collectives: Sequence[Collective] = ALL_COLLECTIVES,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+) -> SynthesisResult:
+    """Convenience wrapper: build a :class:`Synthesizer` and run it once."""
+    synthesizer = Synthesizer(
+        max_program_size=max_program_size,
+        collectives=tuple(collectives),
+        node_limit=node_limit,
+    )
+    return synthesizer.synthesize(hierarchy)

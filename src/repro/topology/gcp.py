@@ -1,0 +1,99 @@
+"""The two GCP GPU systems the paper evaluates on (Figure 9, §4–§5).
+
+* :func:`a100_system` — ``num_nodes`` nodes, each with 16 A100 GPUs behind one
+  NVSwitch and one NIC into the data-center network.  Synthesis hierarchy
+  ``[num_nodes, 16]``.
+* :func:`v100_system` — ``num_nodes`` nodes, each with 8 V100 GPUs on one
+  NVLink ring; GPUs reach the NIC through PCIe switches (the paper folds the
+  two PCIe domains of a node into one layer because the NVLink ring spans all
+  8 GPUs).  Synthesis hierarchy ``[num_nodes, 8]``.
+* :func:`figure2a_system` — the illustrative rack/server/CPU/GPU system of
+  Figure 2a, used by the overview examples and tests.
+
+Bandwidth assumptions follow §5: 8 GB/s effective NIC, 32 GB/s PCIe,
+135 GB/s V100 NVLink ring, 270 GB/s A100 NVSwitch.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.hierarchy.levels import SystemHierarchy
+from repro.topology.links import (
+    DCN_NIC_8GBS,
+    GB,
+    NVLINK_RING_135GBS,
+    NVSWITCH_270GBS,
+    PCIE_32GBS,
+    LinkKind,
+    LinkSpec,
+)
+from repro.topology.topology import MachineTopology
+
+__all__ = ["a100_system", "v100_system", "figure2a_system"]
+
+A100_GPUS_PER_NODE = 16
+V100_GPUS_PER_NODE = 8
+
+
+def a100_system(num_nodes: int = 2, gpus_per_node: int = A100_GPUS_PER_NODE) -> MachineTopology:
+    """The NVIDIA A100 system: nodes of 16 GPUs behind one NVSwitch and one NIC."""
+    if num_nodes < 1:
+        raise TopologyError("num_nodes must be >= 1")
+    if gpus_per_node < 1:
+        raise TopologyError("gpus_per_node must be >= 1")
+    hierarchy = SystemHierarchy.from_pairs([("node", num_nodes), ("gpu", gpus_per_node)])
+    return MachineTopology(
+        name=f"a100-{num_nodes}x{gpus_per_node}",
+        hierarchy=hierarchy,
+        interconnects=(DCN_NIC_8GBS, NVSWITCH_270GBS),
+        nic_level=0,
+        nics_per_instance=1,
+    )
+
+
+def v100_system(num_nodes: int = 2, gpus_per_node: int = V100_GPUS_PER_NODE) -> MachineTopology:
+    """The NVIDIA V100 system: nodes of 8 GPUs on an NVLink ring, NIC behind PCIe."""
+    if num_nodes < 1:
+        raise TopologyError("num_nodes must be >= 1")
+    if gpus_per_node < 1:
+        raise TopologyError("gpus_per_node must be >= 1")
+    hierarchy = SystemHierarchy.from_pairs([("node", num_nodes), ("gpu", gpus_per_node)])
+    return MachineTopology(
+        name=f"v100-{num_nodes}x{gpus_per_node}",
+        hierarchy=hierarchy,
+        interconnects=(DCN_NIC_8GBS, NVLINK_RING_135GBS),
+        nic_level=0,
+        nics_per_instance=1,
+        host_link=PCIE_32GBS,
+    )
+
+
+def figure2a_system(
+    nvlink_bandwidth: float = 130 * GB,
+    pcie_bandwidth: float = 32 * GB,
+    qpi_bandwidth: float = 20 * GB,
+    nic_bandwidth: float = 8 * GB,
+) -> MachineTopology:
+    """The rack / server / CPU / GPU system of paper Figure 2a (16 GPUs).
+
+    One rack holds 2 servers; each server has 2 CPUs, each CPU connects 4
+    GPUs.  GPUs under one CPU communicate over NVLink/PCIe, CPUs within a
+    server over the inter-socket link, and servers over the rack network.
+    """
+    hierarchy = SystemHierarchy.from_pairs(
+        [("rack", 1), ("server", 2), ("cpu", 2), ("gpu", 4)]
+    )
+    interconnects = (
+        LinkSpec("rack-network", LinkKind.DCN, nic_bandwidth, 5e-6),
+        LinkSpec("server-nic", LinkKind.NIC, nic_bandwidth, 5e-6),
+        LinkSpec("cpu-interconnect", LinkKind.SHARED_MEMORY, qpi_bandwidth, 3e-6),
+        LinkSpec("gpu-nvlink", LinkKind.NVLINK_RING, nvlink_bandwidth, 2e-6),
+    )
+    return MachineTopology(
+        name="figure2a-rack",
+        hierarchy=hierarchy,
+        interconnects=interconnects,
+        nic_level=1,
+        nics_per_instance=1,
+        host_link=LinkSpec("pcie", LinkKind.PCIE, pcie_bandwidth, 2e-6),
+    )

@@ -1,0 +1,119 @@
+"""Integer factorization helpers.
+
+Parallelism-matrix enumeration (paper §3.1) repeatedly needs all ways of
+writing a hierarchy-level cardinality ``h`` as an *ordered* product of ``k``
+positive factors: one factor per parallelism axis.  The functions here are
+deliberately plain Python (the integers involved are tiny — device counts of
+at most a few thousand) and are exhaustively tested against brute force.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import HierarchyError
+
+__all__ = [
+    "prime_factorization",
+    "divisors",
+    "ordered_factorizations",
+    "count_ordered_factorizations",
+    "multiplicities",
+]
+
+
+def prime_factorization(n: int) -> Dict[int, int]:
+    """Return the prime factorization of ``n`` as a ``{prime: exponent}`` dict.
+
+    ``prime_factorization(1)`` is the empty dict.  Raises
+    :class:`~repro.errors.HierarchyError` for ``n < 1``.
+    """
+    if n < 1:
+        raise HierarchyError(f"cannot factorize non-positive integer {n}")
+    factors: Dict[int, int] = {}
+    remaining = n
+    p = 2
+    while p * p <= remaining:
+        while remaining % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            remaining //= p
+        p += 1 if p == 2 else 2
+    if remaining > 1:
+        factors[remaining] = factors.get(remaining, 0) + 1
+    return factors
+
+
+@lru_cache(maxsize=None)
+def divisors(n: int) -> Tuple[int, ...]:
+    """Return all positive divisors of ``n`` in increasing order."""
+    if n < 1:
+        raise HierarchyError(f"cannot list divisors of non-positive integer {n}")
+    small: List[int] = []
+    large: List[int] = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return tuple(small + large[::-1])
+
+
+def ordered_factorizations(n: int, k: int) -> Iterator[Tuple[int, ...]]:
+    """Yield every tuple ``(f0, ..., f_{k-1})`` of positive ints with product ``n``.
+
+    The factors are *ordered*: ``(2, 1)`` and ``(1, 2)`` are distinct results.
+    This is exactly the set of ways one hierarchy level of cardinality ``n``
+    can be split across ``k`` parallelism axes.
+    """
+    if n < 1:
+        raise HierarchyError(f"cannot factorize non-positive integer {n}")
+    if k < 0:
+        raise HierarchyError(f"number of factors must be non-negative, got {k}")
+    if k == 0:
+        if n == 1:
+            yield ()
+        return
+    if k == 1:
+        yield (n,)
+        return
+
+    def _rec(remaining: int, slots: int) -> Iterator[Tuple[int, ...]]:
+        if slots == 1:
+            yield (remaining,)
+            return
+        for d in divisors(remaining):
+            for rest in _rec(remaining // d, slots - 1):
+                yield (d,) + rest
+
+    yield from _rec(n, k)
+
+
+def count_ordered_factorizations(n: int, k: int) -> int:
+    """Count ordered factorizations of ``n`` into ``k`` factors without enumerating.
+
+    Uses the standard multiplicative formula: if ``n = prod p_i^{e_i}`` then the
+    count is ``prod C(e_i + k - 1, k - 1)`` (stars and bars per prime).
+    """
+    if n < 1:
+        raise HierarchyError(f"cannot factorize non-positive integer {n}")
+    if k < 0:
+        raise HierarchyError(f"number of factors must be non-negative, got {k}")
+    if k == 0:
+        return 1 if n == 1 else 0
+    from math import comb
+
+    total = 1
+    for exponent in prime_factorization(n).values():
+        total *= comb(exponent + k - 1, k - 1)
+    return total
+
+
+def multiplicities(values: Sequence[int]) -> Dict[int, int]:
+    """Return a ``{value: count}`` histogram of ``values`` (ordering-insensitive)."""
+    hist: Dict[int, int] = {}
+    for v in values:
+        hist[v] = hist.get(v, 0) + 1
+    return hist

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for the evaluation harness.
+
+The benchmark harness prints the rows of each paper table; this module renders
+them without third-party dependencies.  Numbers are formatted compactly and
+columns are right-aligned unless they contain text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_cell", "format_table"]
+
+
+def format_cell(value: object, float_fmt: str = "{:.2f}") -> str:
+    """Render a single table cell: floats via ``float_fmt``, None as ``-``."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = [[format_cell(c, float_fmt) for c in row] for row in rows]
+    header_row = [str(h) for h in headers]
+    n_cols = len(header_row)
+    for row in rendered_rows:
+        if len(row) != n_cols:
+            raise ValueError(f"row has {len(row)} cells, expected {n_cols}: {row}")
+
+    widths = [len(h) for h in header_row]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def _fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (n_cols - 1)))
+    lines.append(_fmt_row(header_row))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(_fmt_row(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite.
+
+Most tests work on two systems:
+
+* the paper's Figure 2a rack (1 rack, 2 servers, 2 CPUs each, 4 GPUs each —
+  16 devices), which is small enough for exhaustive checks, and
+* the two-level GCP-style systems (A100/V100) used by the evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.levels import SystemHierarchy
+from repro.hierarchy.matrix import enumerate_parallelism_matrices
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.hierarchy.placement import DevicePlacement
+from repro.synthesis.hierarchy import HierarchyVariant, build_synthesis_hierarchy
+from repro.topology.gcp import a100_system, figure2a_system, v100_system
+
+
+@pytest.fixture
+def figure2a_hierarchy() -> SystemHierarchy:
+    """The [(rack, 1), (server, 2), (cpu, 2), (gpu, 4)] hierarchy of Figure 2a."""
+    return SystemHierarchy.from_pairs(
+        [("rack", 1), ("server", 2), ("cpu", 2), ("gpu", 4)]
+    )
+
+
+@pytest.fixture
+def figure2_axes() -> ParallelismAxes:
+    """Data parallelism of size 4 and 4 parameter shards (Figure 2)."""
+    return ParallelismAxes.of(4, 4, names=("data", "shard"))
+
+
+@pytest.fixture
+def figure2_matrices(figure2a_hierarchy, figure2_axes):
+    """All parallelism matrices for the Figure 2 running example."""
+    return enumerate_parallelism_matrices(figure2a_hierarchy, figure2_axes)
+
+
+@pytest.fixture
+def figure2d_matrix(figure2_matrices):
+    """The matrix of Figure 2d: [[1 1 2 2], [1 2 1 2]]."""
+    for matrix in figure2_matrices:
+        if matrix.entries == ((1, 1, 2, 2), (1, 2, 1, 2)):
+            return matrix
+    raise AssertionError("Figure 2d matrix not enumerated")
+
+
+@pytest.fixture
+def shard_reduction() -> ReductionRequest:
+    """Reduction along the parameter-sharding axis (axis 1)."""
+    return ReductionRequest.over(1)
+
+
+@pytest.fixture
+def figure2d_placement(figure2d_matrix) -> DevicePlacement:
+    return DevicePlacement(figure2d_matrix)
+
+
+@pytest.fixture
+def figure2d_synthesis_hierarchy(figure2d_matrix, shard_reduction):
+    return build_synthesis_hierarchy(
+        figure2d_matrix, shard_reduction, HierarchyVariant.REDUCTION_COLLAPSED
+    )
+
+
+@pytest.fixture
+def a100_2node():
+    return a100_system(num_nodes=2)
+
+
+@pytest.fixture
+def a100_4node():
+    return a100_system(num_nodes=4)
+
+
+@pytest.fixture
+def v100_2node():
+    return v100_system(num_nodes=2)
+
+
+@pytest.fixture
+def figure2a_machine():
+    return figure2a_system()

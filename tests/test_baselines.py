@@ -1,0 +1,121 @@
+"""Tests for the baseline strategies (AllReduce, R-AR-B, BlueConnect)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.allreduce import default_all_reduce, default_all_reduce_program
+from repro.baselines.blueconnect import blueconnect
+from repro.baselines.hierarchical import pick_split_level, reduce_allreduce_broadcast
+from repro.errors import SynthesisError
+from repro.hierarchy.levels import SystemHierarchy
+from repro.hierarchy.matrix import enumerate_parallelism_matrices
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.hierarchy.placement import DevicePlacement
+from repro.semantics.collectives import Collective
+from repro.synthesis.hierarchy import build_synthesis_hierarchy
+
+
+@pytest.fixture
+def two_node_setup():
+    hierarchy = SystemHierarchy.from_cardinalities([2, 8], ["node", "gpu"])
+    axes = ParallelismAxes.of(16)
+    request = ReductionRequest.over(0)
+    matrix = enumerate_parallelism_matrices(hierarchy, axes)[0]
+    placement = DevicePlacement(matrix)
+    synthesis_hierarchy = build_synthesis_hierarchy(matrix, request)
+    return placement, synthesis_hierarchy, request
+
+
+class TestDefaultAllReduce:
+    def test_program_structure(self, figure2d_placement, shard_reduction):
+        program = default_all_reduce(figure2d_placement, shard_reduction)
+        assert program.num_steps == 1
+        step = program.steps[0]
+        assert step.collective == Collective.ALL_REDUCE
+        assert step.num_groups == 4 and step.group_size == 4
+        assert program.validates_against(figure2d_placement, shard_reduction)
+
+    def test_groups_match_reduction_groups(self, figure2d_placement, shard_reduction):
+        program = default_all_reduce(figure2d_placement, shard_reduction)
+        expected = {tuple(g) for g in figure2d_placement.reduction_groups(shard_reduction)}
+        assert set(program.steps[0].groups) == expected
+
+    def test_singleton_groups_produce_empty_program(self):
+        hierarchy = SystemHierarchy.from_cardinalities([1, 4])
+        axes = ParallelismAxes.of(1, 4)
+        matrix = enumerate_parallelism_matrices(hierarchy, axes)[0]
+        placement = DevicePlacement(matrix)
+        program = default_all_reduce(placement, ReductionRequest.over(0))
+        assert program.num_steps == 0
+
+    def test_dsl_form(self):
+        program = default_all_reduce_program()
+        assert len(program) == 1
+        assert program[0].collective == Collective.ALL_REDUCE
+
+
+class TestPickSplitLevel:
+    def test_two_level_hierarchy_splits_at_one(self, two_node_setup):
+        _, hierarchy, _ = two_node_setup
+        assert pick_split_level(hierarchy) == 1
+
+    def test_no_split_raises(self):
+        system = SystemHierarchy.from_cardinalities([1, 8], ["node", "gpu"])
+        axes = ParallelismAxes.of(8)
+        matrix = enumerate_parallelism_matrices(system, axes)[0]
+        hierarchy = build_synthesis_hierarchy(matrix, ReductionRequest.over(0))
+        with pytest.raises(SynthesisError):
+            pick_split_level(hierarchy)
+
+
+class TestHierarchicalBaselines:
+    def test_reduce_allreduce_broadcast_structure(self, two_node_setup):
+        placement, hierarchy, request = two_node_setup
+        program = reduce_allreduce_broadcast(hierarchy, placement)
+        assert [s.collective for s in program.steps] == [
+            Collective.REDUCE,
+            Collective.ALL_REDUCE,
+            Collective.BROADCAST,
+        ]
+        # The middle step runs over the per-node roots only.
+        assert program.steps[1].num_groups == 1
+        assert program.steps[1].group_size == 2
+        assert program.validates_against(placement, request)
+
+    def test_blueconnect_structure(self, two_node_setup):
+        placement, hierarchy, request = two_node_setup
+        program = blueconnect(hierarchy, placement)
+        assert [s.collective for s in program.steps] == [
+            Collective.REDUCE_SCATTER,
+            Collective.ALL_REDUCE,
+            Collective.ALL_GATHER,
+        ]
+        # The cross-node AllReduce runs one group per local position.
+        assert program.steps[1].num_groups == 8
+        assert program.steps[1].group_size == 2
+        assert program.validates_against(placement, request)
+
+    def test_explicit_split_level(self, figure2d_synthesis_hierarchy, figure2d_placement,
+                                  shard_reduction):
+        program = blueconnect(figure2d_synthesis_hierarchy, figure2d_placement, split_level=2)
+        assert program.validates_against(figure2d_placement, shard_reduction)
+
+    def test_labels(self, two_node_setup):
+        placement, hierarchy, _ = two_node_setup
+        assert "Broadcast" in reduce_allreduce_broadcast(hierarchy, placement).label
+        assert "AllGather" in blueconnect(hierarchy, placement).label
+
+    def test_baselines_are_in_the_synthesis_space(self, two_node_setup):
+        """Paper §4.2: both Figure 10 programs are themselves synthesizable."""
+        from repro.synthesis.lowering import lower_synthesized
+        from repro.synthesis.synthesizer import synthesize_programs
+
+        placement, hierarchy, request = two_node_setup
+        result = synthesize_programs(hierarchy, max_program_size=3)
+        signatures = {
+            lower_synthesized(p, hierarchy, placement).signature()
+            for p in result.programs
+        }
+        assert blueconnect(hierarchy, placement).signature() in signatures
+        assert reduce_allreduce_broadcast(hierarchy, placement).signature() in signatures

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_optimize_arguments(self):
+        args = build_parser().parse_args(
+            ["optimize", "--axes", "8", "4", "--reduce", "0", "--nodes", "2"]
+        )
+        assert args.command == "optimize"
+        assert args.axes == [8, 4]
+        assert args.reduce == [0]
+
+    def test_table_commands_accept_payload_scale(self):
+        args = build_parser().parse_args(["table4", "--payload-scale", "0.01", "--quick"])
+        assert args.payload_scale == pytest.approx(0.01)
+        assert args.quick
+
+
+class TestMain:
+    def test_optimize_command(self, capsys):
+        exit_code = main(
+            [
+                "optimize",
+                "--system", "a100",
+                "--nodes", "2",
+                "--axes", "8", "4",
+                "--reduce", "0",
+                "--bytes", str(32 << 20),
+                "--top", "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "best strategy" in captured.out
+        assert "speedup" in captured.out
+
+    def test_table3_command_small(self, capsys):
+        exit_code = main(["table3", "--payload-scale", "0.001"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Table 3" in captured.out
+
+    def test_figure11_like_flow_via_optimize_tree(self, capsys):
+        exit_code = main(
+            [
+                "optimize",
+                "--system", "v100",
+                "--nodes", "2",
+                "--axes", "16",
+                "--reduce", "0",
+                "--algorithm", "tree",
+                "--bytes", str(8 << 20),
+            ]
+        )
+        assert exit_code == 0
+        assert "strategies" in capsys.readouterr().out
+
+    def test_plan_command(self, capsys):
+        exit_code = main(
+            [
+                "plan",
+                "--system", "a100",
+                "--nodes", "2",
+                "--axes", "2", "16",
+                "--reduction", f"gradients:0:{32 << 20}",
+                "--reduction", f"activations:1:{8 << 20}:4",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "best combined placement" in captured.out
+        assert "gradients" in captured.out and "activations" in captured.out
+
+    def test_plan_rejects_malformed_reduction(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--axes", "2", "16", "--reduction", "oops"])
+
+    def test_sweep_quick_with_save(self, capsys, tmp_path):
+        from repro.analysis import load_results
+
+        target = tmp_path / "sweep.json"
+        exit_code = main(
+            ["sweep", "--quick", "--payload-scale", "0.002", "--save", str(target)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Sweep summary" in captured.out
+        assert target.exists()
+        assert len(load_results(target)) > 0
+
+    def test_emit_command(self, capsys):
+        exit_code = main(
+            [
+                "emit",
+                "--system", "a100",
+                "--nodes", "2",
+                "--axes", "32",
+                "--reduce", "0",
+                "--bytes", str(64 << 20),
+                "--elements", "65536",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "HloModule" in captured.out
+        assert "replica_groups" in captured.out

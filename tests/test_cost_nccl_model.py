@@ -1,0 +1,120 @@
+"""Tests for repro.cost.nccl and repro.cost.model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.model import CostModel
+from repro.cost.nccl import NCCLAlgorithm, bytes_on_wire, collective_time, latency_steps
+from repro.errors import CostModelError
+from repro.semantics.collectives import ALL_COLLECTIVES, Collective
+
+GB = 1e9
+
+
+class TestBytesOnWire:
+    def test_ring_allreduce_volume(self):
+        assert bytes_on_wire(Collective.ALL_REDUCE, NCCLAlgorithm.RING, 4, 1000) == pytest.approx(1500)
+
+    def test_tree_allreduce_volume(self):
+        assert bytes_on_wire(Collective.ALL_REDUCE, NCCLAlgorithm.TREE, 4, 1000) == pytest.approx(2000)
+
+    def test_reduce_scatter_smaller_than_allreduce(self):
+        rs = bytes_on_wire(Collective.REDUCE_SCATTER, NCCLAlgorithm.RING, 8, 1000)
+        ar = bytes_on_wire(Collective.ALL_REDUCE, NCCLAlgorithm.RING, 8, 1000)
+        assert rs == pytest.approx(ar / 2)
+
+    def test_all_gather_grows_with_group(self):
+        small = bytes_on_wire(Collective.ALL_GATHER, NCCLAlgorithm.RING, 2, 1000)
+        large = bytes_on_wire(Collective.ALL_GATHER, NCCLAlgorithm.RING, 8, 1000)
+        assert large > small
+
+    def test_group_of_one_rejected(self):
+        with pytest.raises(CostModelError):
+            bytes_on_wire(Collective.ALL_REDUCE, NCCLAlgorithm.RING, 1, 1000)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(CostModelError):
+            bytes_on_wire(Collective.ALL_REDUCE, NCCLAlgorithm.RING, 2, -1)
+
+    @given(
+        st.sampled_from(ALL_COLLECTIVES),
+        st.sampled_from(list(NCCLAlgorithm)),
+        st.integers(min_value=2, max_value=128),
+        st.floats(min_value=0, max_value=1e12),
+    )
+    @settings(max_examples=80)
+    def test_volume_non_negative_and_monotone_in_payload(self, op, algorithm, group, payload):
+        v1 = bytes_on_wire(op, algorithm, group, payload)
+        v2 = bytes_on_wire(op, algorithm, group, payload * 2)
+        assert v1 >= 0
+        assert v2 >= v1
+
+
+class TestLatencySteps:
+    def test_ring_grows_linearly(self):
+        assert latency_steps(Collective.ALL_REDUCE, NCCLAlgorithm.RING, 8) == 14
+        assert latency_steps(Collective.REDUCE, NCCLAlgorithm.RING, 8) == 7
+
+    def test_tree_grows_logarithmically(self):
+        assert latency_steps(Collective.ALL_REDUCE, NCCLAlgorithm.TREE, 8) == 6
+        assert latency_steps(Collective.BROADCAST, NCCLAlgorithm.TREE, 8) == 3
+
+    def test_tree_cheaper_than_ring_for_large_groups(self):
+        for op in ALL_COLLECTIVES:
+            assert latency_steps(op, NCCLAlgorithm.TREE, 64) < latency_steps(
+                op, NCCLAlgorithm.RING, 64
+            )
+
+
+class TestCollectiveTime:
+    def test_bandwidth_term_dominates_large_payload(self):
+        time = collective_time(
+            Collective.ALL_REDUCE, NCCLAlgorithm.RING, 4, 8 * GB, 8 * GB, 1e-6
+        )
+        assert time == pytest.approx(2 * 3 / 4 * 1.0, rel=1e-3)
+
+    def test_invalid_bandwidth_and_latency(self):
+        with pytest.raises(CostModelError):
+            collective_time(Collective.ALL_REDUCE, NCCLAlgorithm.RING, 4, 1, 0, 1e-6)
+        with pytest.raises(CostModelError):
+            collective_time(Collective.ALL_REDUCE, NCCLAlgorithm.RING, 4, 1, 1e9, -1)
+
+    def test_faster_link_is_faster(self):
+        slow = collective_time(Collective.ALL_REDUCE, NCCLAlgorithm.RING, 4, 1e9, 8 * GB, 1e-6)
+        fast = collective_time(Collective.ALL_REDUCE, NCCLAlgorithm.RING, 4, 1e9, 270 * GB, 1e-6)
+        assert fast < slow
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        model = CostModel()
+        assert model.launch_overhead > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CostModelError):
+            CostModel(launch_overhead=-1)
+        with pytest.raises(CostModelError):
+            CostModel(small_message_efficiency=0)
+        with pytest.raises(CostModelError):
+            CostModel(small_message_efficiency=1.5)
+        with pytest.raises(CostModelError):
+            CostModel(small_message_bytes=-1)
+
+    def test_group_time_includes_launch_overhead(self):
+        model = CostModel(launch_overhead=1.0)
+        time = model.group_time(
+            Collective.ALL_REDUCE, NCCLAlgorithm.RING, 2, 8 * GB, 8 * GB, 0.0
+        )
+        assert time > 1.0
+
+    def test_small_messages_penalized(self):
+        model = CostModel(small_message_bytes=1 << 20, small_message_efficiency=0.5)
+        small = model.group_time(Collective.ALL_REDUCE, NCCLAlgorithm.RING, 2, 1 << 10, 1e9, 0)
+        # Same payload priced at full efficiency would be cheaper.
+        full = model.group_time(Collective.ALL_REDUCE, NCCLAlgorithm.RING, 2, 1 << 30, 1e9, 0)
+        per_byte_small = (small - model.launch_overhead) / (1 << 10)
+        per_byte_full = (full - model.launch_overhead) / (1 << 30)
+        assert per_byte_small > per_byte_full

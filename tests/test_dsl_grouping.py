@@ -1,0 +1,154 @@
+"""Tests for repro.dsl.grouping — reproduces Table 2 of the paper."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl.forms import InsideGroup, Master, Parallel
+from repro.dsl.grouping import derive_groups, enumerate_instructions, slice_groups
+from repro.errors import DSLError
+from repro.semantics.collectives import ALL_COLLECTIVES
+
+# The Figure 2a system hierarchy: rack=1, server=2, cpu=2, gpu=4.
+# Devices 0..15 map onto the paper's names A0..A3, B0..B3, C0..C3, D0..D3.
+RADICES = (1, 2, 2, 4)
+A = list(range(0, 4))
+B = list(range(4, 8))
+C = list(range(8, 12))
+D = list(range(12, 16))
+
+
+def groups_as_sets(groups):
+    return {frozenset(g) for g in groups}
+
+
+class TestSliceGroups:
+    def test_slice_cpu(self):
+        groups = slice_groups(RADICES, 2)
+        assert groups_as_sets(groups) == {frozenset(A), frozenset(B), frozenset(C), frozenset(D)}
+
+    def test_slice_server(self):
+        groups = slice_groups(RADICES, 1)
+        assert groups_as_sets(groups) == {frozenset(A + B), frozenset(C + D)}
+
+    def test_slice_rack_is_everything(self):
+        groups = slice_groups(RADICES, 0)
+        assert groups_as_sets(groups) == {frozenset(range(16))}
+
+    def test_slice_leaf_gives_singletons(self):
+        groups = slice_groups(RADICES, 3)
+        assert all(len(g) == 1 for g in groups)
+
+    def test_invalid_slice_level(self):
+        with pytest.raises(DSLError):
+            slice_groups(RADICES, 4)
+        with pytest.raises(DSLError):
+            slice_groups((), 0)
+
+
+class TestTable2Patterns:
+    """Every row of the paper's Table 2."""
+
+    def test_cpu_inside_group(self):
+        groups = derive_groups(RADICES, 2, InsideGroup())
+        assert groups_as_sets(groups) == {frozenset(A), frozenset(B), frozenset(C), frozenset(D)}
+
+    def test_cpu_parallel_server(self):
+        groups = derive_groups(RADICES, 2, Parallel(1))
+        expected = {
+            frozenset({A[i], B[i]}) for i in range(4)
+        } | {frozenset({C[i], D[i]}) for i in range(4)}
+        assert groups_as_sets(groups) == expected
+
+    def test_cpu_parallel_rack(self):
+        groups = derive_groups(RADICES, 2, Parallel(0))
+        expected = {frozenset({A[i], B[i], C[i], D[i]}) for i in range(4)}
+        assert groups_as_sets(groups) == expected
+
+    def test_cpu_master_rack(self):
+        groups = derive_groups(RADICES, 2, Master(0))
+        assert groups_as_sets(groups) == {frozenset({A[0], B[0], C[0], D[0]})}
+
+    def test_server_inside_group(self):
+        groups = derive_groups(RADICES, 1, InsideGroup())
+        assert groups_as_sets(groups) == {frozenset(A + B), frozenset(C + D)}
+
+    def test_server_parallel_rack(self):
+        groups = derive_groups(RADICES, 1, Parallel(0))
+        expected = {frozenset({A[i], C[i]}) for i in range(4)} | {
+            frozenset({B[i], D[i]}) for i in range(4)
+        }
+        assert groups_as_sets(groups) == expected
+
+    def test_rack_inside_group(self):
+        groups = derive_groups(RADICES, 0, InsideGroup())
+        assert groups_as_sets(groups) == {frozenset(range(16))}
+
+
+class TestGroupProperties:
+    def test_group_members_sorted_root_first(self):
+        for groups in (derive_groups(RADICES, 2, Parallel(0)), slice_groups(RADICES, 2)):
+            for group in groups:
+                assert list(group) == sorted(group)
+
+    def test_parallel_requires_strict_ancestor(self):
+        with pytest.raises(DSLError):
+            derive_groups(RADICES, 1, Parallel(1))
+        with pytest.raises(DSLError):
+            derive_groups(RADICES, 1, Parallel(2))
+
+    def test_singleton_groups_filtered(self):
+        # Slicing at the leaf gives singletons only; they are all dropped.
+        assert derive_groups(RADICES, 3, InsideGroup()) == ()
+
+    def test_groups_are_disjoint(self):
+        for form in (InsideGroup(), Parallel(0), Parallel(1), Master(0)):
+            if form.ancestor is not None and form.ancestor >= 2:
+                continue
+            groups = derive_groups(RADICES, 2, form)
+            flat = [d for g in groups for d in g]
+            assert len(flat) == len(set(flat))
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=4), min_size=2, max_size=4),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_groups_cover_devices_uniformly(self, radices, data):
+        """Parallel/InsideGroup groups partition a subset of devices into equal sizes."""
+        radices = tuple(radices)
+        slice_level = data.draw(st.integers(min_value=0, max_value=len(radices) - 1))
+        forms = [InsideGroup()] + [Parallel(a) for a in range(slice_level)]
+        form = data.draw(st.sampled_from(forms))
+        groups = derive_groups(radices, slice_level, form)
+        if not groups:
+            return
+        sizes = {len(g) for g in groups}
+        assert len(sizes) == 1
+        flat = [d for g in groups for d in g]
+        assert len(flat) == len(set(flat))
+
+
+class TestEnumerateInstructions:
+    def test_all_instructions_have_groups(self):
+        for _, _, _, groups in enumerate_instructions(RADICES):
+            assert groups and all(len(g) >= 2 for g in groups)
+
+    def test_deduplication_reduces_count(self):
+        deduped = list(enumerate_instructions((1, 2, 1, 2), deduplicate=True))
+        raw = list(enumerate_instructions((1, 2, 1, 2), deduplicate=False))
+        assert len(deduped) < len(raw)
+
+    def test_collective_alphabet_respected(self):
+        only_ar = list(enumerate_instructions(RADICES, collectives=[ALL_COLLECTIVES[0]]))
+        assert all(op == ALL_COLLECTIVES[0] for _, _, op, _ in only_ar)
+
+    def test_each_yield_consistent_with_derive_groups(self):
+        for slice_level, form, _, groups in enumerate_instructions(RADICES):
+            assert derive_groups(RADICES, slice_level, form) == groups
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(DSLError):
+            list(enumerate_instructions(()))

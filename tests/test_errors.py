@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        exception_types = [
+            obj
+            for obj in vars(errors).values()
+            if isinstance(obj, type) and issubclass(obj, Exception)
+        ]
+        assert errors.ReproError in exception_types
+        for exc in exception_types:
+            assert issubclass(exc, errors.ReproError)
+
+    def test_specialisations(self):
+        assert issubclass(errors.PlacementError, errors.HierarchyError)
+        assert issubclass(errors.InvalidCollectiveError, errors.SemanticsError)
+        assert issubclass(errors.LoweringError, errors.SynthesisError)
+        assert issubclass(errors.VerificationError, errors.RuntimeExecutionError)
+
+    def test_single_except_clause_catches_everything(self):
+        for exc in (
+            errors.HierarchyError,
+            errors.DSLError,
+            errors.SynthesisError,
+            errors.TopologyError,
+            errors.CostModelError,
+            errors.EvaluationError,
+        ):
+            with pytest.raises(errors.ReproError):
+                raise exc("boom")

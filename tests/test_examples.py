@@ -1,0 +1,47 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable (so API drift breaks the suite, not just the
+docs) and exposes a ``main`` entry point.  The cheapest example is actually
+executed end to end; the longer ones are exercised indirectly by the
+integration tests and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"examples_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_at_least_five_examples_exist(self):
+        assert len(EXAMPLE_FILES) >= 5
+        names = {p.stem for p in EXAMPLE_FILES}
+        assert "quickstart" in names
+        assert "resnet50_data_parallel" in names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_imports_and_has_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None))
+        assert module.__doc__ and len(module.__doc__) > 80
+
+    def test_placement_exploration_runs(self, capsys):
+        module = _load(EXAMPLES_DIR / "placement_exploration.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "parallelism matrices" in out
+        assert "strategies synthesized" in out

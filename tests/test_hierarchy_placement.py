@@ -1,0 +1,143 @@
+"""Tests for repro.hierarchy.placement (DevicePlacement)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlacementError
+from repro.hierarchy.levels import SystemHierarchy
+from repro.hierarchy.matrix import enumerate_parallelism_matrices
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.hierarchy.placement import DevicePlacement
+
+
+class TestGridConversions:
+    def test_grid_roundtrip_all_devices(self, figure2d_placement):
+        for device in range(figure2d_placement.num_devices):
+            grid = figure2d_placement.device_to_grid(device)
+            assert figure2d_placement.grid_to_device(grid) == device
+
+    def test_grid_shape_validation(self, figure2d_placement):
+        with pytest.raises(PlacementError):
+            figure2d_placement.grid_to_device([[0, 0, 0, 0]])  # one row missing
+        with pytest.raises(PlacementError):
+            figure2d_placement.grid_to_device([[0, 0, 0], [0, 0, 0]])
+        with pytest.raises(PlacementError):
+            figure2d_placement.grid_to_device([[0, 0, 0, 5], [0, 0, 0, 0]])
+
+    def test_device_zero_grid_is_all_zero(self, figure2d_placement):
+        grid = figure2d_placement.device_to_grid(0)
+        assert all(all(d == 0 for d in row) for row in grid)
+
+
+class TestParallelCoordinates:
+    def test_every_shard_combination_appears_once(self, figure2d_placement):
+        coords = {figure2d_placement.parallel_coordinates(d)
+                  for d in range(figure2d_placement.num_devices)}
+        assert coords == {(n, m) for n in range(4) for m in range(4)}
+
+    def test_coordinate_roundtrip(self, figure2d_placement):
+        for device in range(figure2d_placement.num_devices):
+            coords = figure2d_placement.parallel_coordinates(device)
+            assert figure2d_placement.device_for_coordinates(coords) == device
+
+    def test_axis_coordinate_matches_parallel_coordinates(self, figure2d_placement):
+        for device in range(figure2d_placement.num_devices):
+            coords = figure2d_placement.parallel_coordinates(device)
+            assert figure2d_placement.axis_coordinate(device, 0) == coords[0]
+            assert figure2d_placement.axis_coordinate(device, 1) == coords[1]
+
+    def test_wrong_coordinate_count_rejected(self, figure2d_placement):
+        with pytest.raises(PlacementError):
+            figure2d_placement.device_for_coordinates((1,))
+
+    def test_coordinate_table_matches(self, figure2d_placement):
+        table = figure2d_placement.coordinate_table
+        assert len(table) == 16
+        assert table[3] == figure2d_placement.parallel_coordinates(3)
+
+    def test_describe_device_marker(self, figure2d_placement):
+        marker = figure2d_placement.describe_device(0)
+        assert marker == "0/0"
+
+
+class TestFigure2Interpretation:
+    """The worked interpretation of Figure 2b in §2.1 of the paper."""
+
+    def test_figure2b_each_cpu_is_one_replica(self, figure2_matrices):
+        matrix = next(m for m in figure2_matrices if m.entries == ((1, 2, 2, 1), (1, 1, 1, 4)))
+        placement = DevicePlacement(matrix)
+        hierarchy = matrix.hierarchy
+        # Every CPU holds one full data-parallel replica: all 4 GPUs under a CPU
+        # share the same data coordinate and carry the 4 different shards.
+        for server in range(2):
+            for cpu in range(2):
+                devices = hierarchy.devices_under(2, (0, server, cpu))
+                data_coords = {placement.axis_coordinate(d, 0) for d in devices}
+                shard_coords = sorted(placement.axis_coordinate(d, 1) for d in devices)
+                assert len(data_coords) == 1
+                assert shard_coords == [0, 1, 2, 3]
+
+    def test_figure2d_gpu_level_splits_both_axes(self, figure2d_placement):
+        # In Figure 2d each CPU's 4 GPUs cover 2 data coordinates x 2 shards.
+        hierarchy = figure2d_placement.matrix.hierarchy
+        devices = hierarchy.devices_under(2, (0, 0, 0))
+        data_coords = {figure2d_placement.axis_coordinate(d, 0) for d in devices}
+        shard_coords = {figure2d_placement.axis_coordinate(d, 1) for d in devices}
+        assert len(data_coords) == 2 and len(shard_coords) == 2
+
+
+class TestReductionGroups:
+    def test_groups_partition_devices(self, figure2d_placement, shard_reduction):
+        groups = figure2d_placement.reduction_groups(shard_reduction)
+        flattened = [d for g in groups for d in g]
+        assert sorted(flattened) == list(range(16))
+        assert len(groups) == 4 and all(len(g) == 4 for g in groups)
+
+    def test_group_members_differ_only_on_reduction_axis(
+        self, figure2d_placement, shard_reduction
+    ):
+        for group in figure2d_placement.reduction_groups(shard_reduction):
+            data_coords = {figure2d_placement.axis_coordinate(d, 0) for d in group}
+            shard_coords = {figure2d_placement.axis_coordinate(d, 1) for d in group}
+            assert len(data_coords) == 1
+            assert len(shard_coords) == len(group)
+
+    def test_multi_axis_reduction_single_group(self, figure2d_placement):
+        request = ReductionRequest.over(0, 1)
+        groups = figure2d_placement.reduction_groups(request)
+        assert len(groups) == 1 and len(groups[0]) == 16
+
+    def test_reduction_group_of(self, figure2d_placement, shard_reduction):
+        group = figure2d_placement.reduction_group_of(5, shard_reduction)
+        assert 5 in group
+
+    def test_group_ordering_follows_reduction_digits(self):
+        # For a [[2 1] [1 16]] placement on [2 16] the axis-0 reduction pairs
+        # device i with device i+16, and the group is ordered by the axis-0
+        # coordinate (node 0 first).
+        hierarchy = SystemHierarchy.from_cardinalities([2, 16], ["node", "gpu"])
+        matrices = enumerate_parallelism_matrices(hierarchy, ParallelismAxes.of(2, 16))
+        matrix = next(m for m in matrices if m.entries == ((2, 1), (1, 16)))
+        placement = DevicePlacement(matrix)
+        groups = placement.reduction_groups(ReductionRequest.over(0))
+        assert [0, 16] in groups and [15, 31] in groups
+
+    def test_placement_table(self, figure2d_placement):
+        table = figure2d_placement.placement_table()
+        assert len(table) == 16
+        assert table[0] == (0, (0, 0))
+
+
+class TestPlacementProperties:
+    @given(st.sampled_from([(4, 4), (2, 8), (8, 2), (16, 1), (2, 2)]))
+    @settings(max_examples=10, deadline=None)
+    def test_bijection_for_every_matrix(self, axes_sizes):
+        hierarchy = SystemHierarchy.from_cardinalities([2, 2, 4])
+        axes = ParallelismAxes(axes_sizes)
+        for matrix in enumerate_parallelism_matrices(hierarchy, axes):
+            placement = DevicePlacement(matrix)
+            coords = {placement.parallel_coordinates(d) for d in range(16)}
+            assert len(coords) == 16  # bijection between devices and shard coordinates

@@ -1,0 +1,140 @@
+"""Cross-module property-based tests.
+
+These tie the whole stack together on randomly drawn (small) problem
+instances: every synthesized program must lower, validate symbolically,
+verify numerically, and be priceable by both the analytic simulator and the
+testbed simulator with sane relationships between the results.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.allreduce import default_all_reduce
+from repro.cost.model import CostModel
+from repro.cost.nccl import NCCLAlgorithm
+from repro.cost.simulator import ProgramSimulator, simulate_program
+from repro.hierarchy.levels import SystemHierarchy
+from repro.hierarchy.matrix import enumerate_parallelism_matrices
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.hierarchy.placement import DevicePlacement
+from repro.runtime.verification import verify_against_placement
+from repro.synthesis.hierarchy import build_synthesis_hierarchy
+from repro.synthesis.lowering import lower_synthesized
+from repro.synthesis.synthesizer import synthesize_programs
+from repro.topology.builders import hierarchical_system
+from repro.topology.gcp import a100_system
+from repro.topology.links import GB
+
+MB = 1 << 20
+
+# Small hierarchies keep every example fast while still exercising multi-level
+# structure (2 or 3 levels, 4-16 devices).
+SYSTEM_SHAPES = st.sampled_from(
+    [
+        (2, 2),
+        (2, 4),
+        (4, 2),
+        (2, 8),
+        (2, 2, 2),
+        (2, 2, 4),
+    ]
+)
+
+
+def _axes_for(total: int, num_axes: int):
+    """Deterministic factorization of ``total`` into ``num_axes`` axis sizes."""
+    sizes = []
+    remaining = total
+    for _ in range(num_axes - 1):
+        factor = 2 if remaining % 2 == 0 and remaining > 1 else 1
+        sizes.append(factor)
+        remaining //= factor
+    sizes.append(remaining)
+    return ParallelismAxes(tuple(sizes))
+
+
+class TestSynthesisToNumericsPipeline:
+    @given(SYSTEM_SHAPES, st.integers(min_value=1, max_value=2), st.integers(min_value=0, max_value=1))
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_every_program_is_correct_end_to_end(self, shape, num_axes, reduction_axis):
+        hierarchy = SystemHierarchy.from_cardinalities(list(shape))
+        axes = _axes_for(hierarchy.num_devices, num_axes)
+        reduction_axis = min(reduction_axis, axes.num_axes - 1)
+        if axes.sizes[reduction_axis] < 2:
+            return  # nothing to reduce
+        request = ReductionRequest.over(reduction_axis)
+        for matrix in enumerate_parallelism_matrices(hierarchy, axes):
+            placement = DevicePlacement(matrix)
+            synthesis_hierarchy = build_synthesis_hierarchy(matrix, request)
+            result = synthesize_programs(synthesis_hierarchy, max_program_size=3)
+            for synthesized in result.programs[:20]:
+                lowered = lower_synthesized(synthesized, synthesis_hierarchy, placement)
+                assert lowered.validates_against(placement, request)
+                report = verify_against_placement(lowered, placement, request, elems_per_chunk=1)
+                assert report.ok, report.describe()
+
+    @given(SYSTEM_SHAPES)
+    @settings(max_examples=8, deadline=None)
+    def test_all_reduce_baseline_always_correct(self, shape):
+        hierarchy = SystemHierarchy.from_cardinalities(list(shape))
+        axes = ParallelismAxes.of(hierarchy.num_devices)
+        request = ReductionRequest.over(0)
+        matrix = enumerate_parallelism_matrices(hierarchy, axes)[0]
+        placement = DevicePlacement(matrix)
+        program = default_all_reduce(placement, request)
+        assert verify_against_placement(program, placement, request).ok
+
+
+class TestCostModelProperties:
+    @given(
+        st.floats(min_value=8, max_value=400),
+        st.integers(min_value=4, max_value=64),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_more_nic_bandwidth_never_hurts(self, nic_gbs, payload_mb):
+        axes = ParallelismAxes.of(32)
+        request = ReductionRequest.over(0)
+
+        def time_with(bandwidth_gbs):
+            system = hierarchical_system(
+                [("node", 2), ("gpu", 16)],
+                bandwidths=[bandwidth_gbs * GB, 270 * GB],
+                name="prop",
+            )
+            matrix = enumerate_parallelism_matrices(system.hierarchy, axes)[0]
+            placement = DevicePlacement(matrix)
+            program = default_all_reduce(placement, request)
+            return simulate_program(program, system, payload_mb * MB).total_seconds
+
+        assert time_with(nic_gbs * 2) <= time_with(nic_gbs) + 1e-12
+
+    @given(st.integers(min_value=1, max_value=512), st.integers(min_value=2, max_value=512))
+    @settings(max_examples=20, deadline=None)
+    def test_larger_payload_never_faster(self, small_mb, extra_mb):
+        system = a100_system(num_nodes=2)
+        axes = ParallelismAxes.of(32)
+        request = ReductionRequest.over(0)
+        matrix = enumerate_parallelism_matrices(system.hierarchy, axes)[0]
+        placement = DevicePlacement(matrix)
+        program = default_all_reduce(placement, request)
+        simulator = ProgramSimulator(system, CostModel())
+        small = simulator.simulate(program, small_mb * MB).total_seconds
+        large = simulator.simulate(program, (small_mb + extra_mb) * MB).total_seconds
+        assert large >= small
+
+    @given(st.sampled_from(list(NCCLAlgorithm)), st.integers(min_value=16, max_value=1024))
+    @settings(max_examples=10, deadline=None)
+    def test_prediction_positive_and_finite(self, algorithm, payload_mb):
+        system = a100_system(num_nodes=2)
+        axes = ParallelismAxes.of(8, 4)
+        request = ReductionRequest.over(0)
+        for matrix in enumerate_parallelism_matrices(system.hierarchy, axes):
+            placement = DevicePlacement(matrix)
+            program = default_all_reduce(placement, request)
+            seconds = simulate_program(
+                program, system, payload_mb * MB, algorithm
+            ).total_seconds
+            assert 0 < seconds < 3600

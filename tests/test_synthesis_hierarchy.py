@@ -1,0 +1,164 @@
+"""Tests for repro.synthesis.hierarchy (the four synthesis hierarchies, §2.5/§3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hierarchy.matrix import enumerate_parallelism_matrices
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.hierarchy.levels import SystemHierarchy
+from repro.hierarchy.placement import DevicePlacement
+from repro.semantics.state import DeviceState
+from repro.synthesis.hierarchy import (
+    HierarchyVariant,
+    SynthesisHierarchy,
+    SynthesisLevel,
+    build_synthesis_hierarchy,
+)
+
+
+class TestVariantsOnFigure2d:
+    """The synthesis hierarchies of Table 1 (first example) for the Figure 2d matrix."""
+
+    def test_system_variant(self, figure2d_matrix, shard_reduction):
+        hierarchy = build_synthesis_hierarchy(
+            figure2d_matrix, shard_reduction, HierarchyVariant.SYSTEM
+        )
+        assert hierarchy.radices == (1, 1, 2, 2, 4)  # root + [1 2 2 4]
+        assert hierarchy.num_virtual_devices == 16
+        assert hierarchy.free_positions == ()
+
+    def test_column_variant(self, figure2d_matrix, shard_reduction):
+        hierarchy = build_synthesis_hierarchy(
+            figure2d_matrix, shard_reduction, HierarchyVariant.COLUMN
+        )
+        assert hierarchy.radices == (1, 1, 1, 1, 2, 2, 1, 2, 2)  # root + column-major
+        assert hierarchy.num_virtual_devices == 16
+
+    def test_row_variant(self, figure2d_matrix, shard_reduction):
+        hierarchy = build_synthesis_hierarchy(
+            figure2d_matrix, shard_reduction, HierarchyVariant.ROW
+        )
+        assert hierarchy.radices == (1, 1, 1, 2, 2, 1, 2, 1, 2)  # root + row-major
+        assert hierarchy.num_virtual_devices == 16
+
+    def test_reduction_variant(self, figure2d_matrix, shard_reduction):
+        hierarchy = build_synthesis_hierarchy(
+            figure2d_matrix, shard_reduction, HierarchyVariant.REDUCTION
+        )
+        assert hierarchy.radices == (1, 1, 2, 1, 2)  # root + the reduction row [1 2 1 2]
+        assert hierarchy.num_virtual_devices == 4
+        # The non-reduction (data) axis positions stay free for lowering.
+        assert len(hierarchy.free_positions) == 4
+
+    def test_reduction_collapsed_variant(self, figure2d_synthesis_hierarchy):
+        assert figure2d_synthesis_hierarchy.radices == (1, 1, 2, 1, 2)
+        assert figure2d_synthesis_hierarchy.num_virtual_devices == 4
+
+    def test_collapsing_merges_same_level_factors(self):
+        # Reduce over both axes: the collapsed hierarchy is the system hierarchy.
+        hierarchy = SystemHierarchy.from_pairs(
+            [("rack", 1), ("server", 2), ("cpu", 2), ("gpu", 4)]
+        )
+        axes = ParallelismAxes.of(4, 4)
+        matrix = enumerate_parallelism_matrices(hierarchy, axes)[0]
+        collapsed = build_synthesis_hierarchy(
+            matrix, ReductionRequest.over(0, 1), HierarchyVariant.REDUCTION_COLLAPSED
+        )
+        assert collapsed.radices == (1, 1, 2, 2, 4)
+        uncollapsed = build_synthesis_hierarchy(
+            matrix, ReductionRequest.over(0, 1), HierarchyVariant.REDUCTION
+        )
+        assert uncollapsed.num_virtual_devices == collapsed.num_virtual_devices == 16
+
+
+class TestVirtualDeviceMapping:
+    def test_virtual_roundtrip(self, figure2d_synthesis_hierarchy):
+        hierarchy = figure2d_synthesis_hierarchy
+        for virtual in range(hierarchy.num_virtual_devices):
+            digits = hierarchy.virtual_to_position_digits(virtual)
+            assert hierarchy.position_digits_to_virtual(digits) == virtual
+
+    def test_physical_device_mapping_respects_reduction_groups(
+        self, figure2d_synthesis_hierarchy, figure2d_placement, shard_reduction
+    ):
+        hierarchy = figure2d_synthesis_hierarchy
+        placement = figure2d_placement
+        groups = placement.reduction_groups(shard_reduction)
+        for free_digits in hierarchy.free_radix:
+            physical = [
+                hierarchy.physical_device(placement, v, free_digits)
+                for v in range(hierarchy.num_virtual_devices)
+            ]
+            # Each full sweep of the virtual devices for one free assignment is
+            # exactly one reduction group, in group order.
+            assert physical in groups
+
+    def test_physical_device_validates_free_digits(
+        self, figure2d_synthesis_hierarchy, figure2d_placement
+    ):
+        with pytest.raises(SynthesisError):
+            figure2d_synthesis_hierarchy.physical_device(figure2d_placement, 0, (0,))
+
+    def test_physical_device_rejects_other_matrix(
+        self, figure2d_synthesis_hierarchy, figure2_matrices
+    ):
+        other = next(m for m in figure2_matrices if m.entries == ((1, 2, 2, 1), (1, 1, 1, 4)))
+        with pytest.raises(SynthesisError):
+            figure2d_synthesis_hierarchy.physical_device(DevicePlacement(other), 0, (0, 0, 0, 0))
+
+
+class TestGoals:
+    def test_reduction_variant_goal_is_full(self, figure2d_synthesis_hierarchy):
+        goal = figure2d_synthesis_hierarchy.goal()
+        assert all(s == DeviceState.full(4) for s in goal)
+
+    def test_row_variant_goal_groups_by_non_reduction_axes(
+        self, figure2d_matrix, shard_reduction
+    ):
+        hierarchy = build_synthesis_hierarchy(
+            figure2d_matrix, shard_reduction, HierarchyVariant.ROW
+        )
+        goal = hierarchy.goal()
+        # Each device's goal row has exactly 4 contributors (its shard group).
+        for virtual in range(hierarchy.num_virtual_devices):
+            assert bin(goal[virtual].row(0)).count("1") == 4
+
+    def test_initial_context(self, figure2d_synthesis_hierarchy):
+        init = figure2d_synthesis_hierarchy.initial_context()
+        assert init.num_devices == 4
+
+
+class TestValidation:
+    def test_level_radix_must_match_positions(self, figure2d_matrix, shard_reduction):
+        good = build_synthesis_hierarchy(figure2d_matrix, shard_reduction)
+        bad_levels = list(good.levels)
+        bad_levels[2] = SynthesisLevel(
+            name=bad_levels[2].name, radix=3, positions=bad_levels[2].positions
+        )
+        with pytest.raises(SynthesisError):
+            SynthesisHierarchy(
+                variant=good.variant,
+                matrix=good.matrix,
+                reduction_axes=good.reduction_axes,
+                levels=tuple(bad_levels),
+            )
+
+    def test_duplicate_positions_rejected(self, figure2d_matrix, shard_reduction):
+        good = build_synthesis_hierarchy(figure2d_matrix, shard_reduction)
+        with pytest.raises(SynthesisError):
+            SynthesisHierarchy(
+                variant=good.variant,
+                matrix=good.matrix,
+                reduction_axes=good.reduction_axes,
+                levels=good.levels + (good.levels[2],),
+            )
+
+    def test_reduction_axes_validated(self, figure2d_matrix):
+        with pytest.raises(Exception):
+            build_synthesis_hierarchy(figure2d_matrix, ReductionRequest.over(5))
+
+    def test_describe(self, figure2d_synthesis_hierarchy):
+        text = figure2d_synthesis_hierarchy.describe()
+        assert "reduction-collapsed" in text
