@@ -1,0 +1,166 @@
+"""Benchmark S1 — planning-service throughput (cache + parallel evaluation).
+
+The planning service exists to amortize P² queries: a cold query pays full
+synthesis + simulation, while a warm query is a fingerprint lookup plus plan
+deserialization.  This benchmark runs the same workload as
+``bench_synthesis_time`` (the Table 4 configurations) through the service
+three times — cold, warm from the in-memory LRU, and warm from a fresh
+service reading the on-disk tier — and reports per-configuration latency and
+speedup.  It also checks that the process-pool evaluator reproduces the
+serial ranking exactly, byte for byte.
+
+Pass criteria: warm-cache lookups at least 10x faster than cold synthesis
+for every configuration, and parallel == serial rankings.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import P2
+from repro.evaluation.config import table4_configs
+from repro.service import PlanCache, PlanningRequest, PlanningService
+from repro.utils.tabulate import format_table
+
+
+def _ranking(plan):
+    return [
+        (s.matrix.describe(), s.mnemonic, s.predicted_seconds, s.is_default_all_reduce)
+        for s in plan.strategies
+    ]
+
+
+def _request_for(config) -> PlanningRequest:
+    return PlanningRequest(
+        axes=config.parallelism(),
+        request=config.request(),
+        bytes_per_device=config.bytes_per_device,
+        algorithm=config.algorithm,
+    )
+
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_cold_vs_warm_cache_throughput(benchmark, save_artifact, tmp_path_factory):
+    configs = table4_configs(payload_scale=0.01)
+    cache_root = tmp_path_factory.mktemp("plan-cache")
+
+    def one_pass():
+        rows = []
+        services = {}
+        rankings = {}
+
+        def service_for(config, fresh=False):
+            key = (config.system, config.num_nodes)
+            if fresh or key not in services:
+                services[key] = PlanningService(
+                    config.topology(),
+                    max_program_size=config.max_program_size,
+                    cache=PlanCache(directory=cache_root / f"{key[0].value}-{key[1]}n"),
+                )
+            return services[key]
+
+        for config in configs:
+            request = _request_for(config)
+
+            start = time.perf_counter()
+            cold = service_for(config).submit(request)
+            cold_seconds = time.perf_counter() - start
+            assert not cold.stats.cache_hit
+
+            start = time.perf_counter()
+            warm = service_for(config).submit(request)
+            memory_seconds = time.perf_counter() - start
+            assert warm.stats.cache_tier == "memory"
+
+            start = time.perf_counter()
+            disk = service_for(config, fresh=True).submit(request)
+            disk_seconds = time.perf_counter() - start
+            assert disk.stats.cache_tier == "disk"
+
+            for label, response in [("memory", warm), ("disk", disk)]:
+                assert _ranking(response.plan) == _ranking(cold.plan), (
+                    f"{config.name}: {label}-tier plan diverges from cold plan"
+                )
+            rankings[config.name] = _ranking(cold.plan)
+            rows.append(
+                [
+                    config.name,
+                    len(cold.plan.strategies),
+                    cold_seconds,
+                    memory_seconds * 1e3,
+                    disk_seconds * 1e3,
+                    cold_seconds / memory_seconds,
+                    cold_seconds / disk_seconds,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(one_pass, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "configuration",
+            "strategies",
+            "cold (s)",
+            "warm mem (ms)",
+            "warm disk (ms)",
+            "mem speedup",
+            "disk speedup",
+        ],
+        rows,
+        title="Planning-service latency: cold synthesis vs warm cache",
+        float_fmt="{:.3f}",
+    )
+    save_artifact("service_throughput", text)
+
+    # The acceptance bar: warm lookups are >= 10x faster than cold synthesis
+    # on every configuration of the bench_synthesis_time workload.
+    assert all(row[5] >= 10.0 for row in rows), "memory tier slower than 10x cold"
+    assert all(row[6] >= 10.0 for row in rows), "disk tier slower than 10x cold"
+
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_parallel_evaluation_matches_serial(benchmark, save_artifact):
+    config = table4_configs(payload_scale=0.01)[0]  # T4-F: A100 2 nodes, [8 4]
+    topology = config.topology()
+    p2 = P2(topology, max_program_size=config.max_program_size)
+
+    def run_both():
+        start = time.perf_counter()
+        serial = p2.optimize(
+            config.parallelism(),
+            config.request(),
+            bytes_per_device=config.bytes_per_device,
+            algorithm=config.algorithm,
+        )
+        serial_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = p2.optimize(
+            config.parallelism(),
+            config.request(),
+            bytes_per_device=config.bytes_per_device,
+            algorithm=config.algorithm,
+            n_workers=2,
+        )
+        parallel_seconds = time.perf_counter() - start
+        return serial, parallel, serial_seconds, parallel_seconds
+
+    serial, parallel, serial_seconds, parallel_seconds = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    # The contract that makes the pool safe to enable by default: identical
+    # ranking, identical predicted times.
+    assert _ranking(parallel) == _ranking(serial)
+
+    text = format_table(
+        ["path", "strategies", "seconds"],
+        [
+            ["serial", len(serial.strategies), serial_seconds],
+            ["2-worker pool", len(parallel.strategies), parallel_seconds],
+        ],
+        title=f"Serial vs parallel evaluation ({config.name}); rankings identical",
+        float_fmt="{:.3f}",
+    )
+    save_artifact("service_parallel", text)

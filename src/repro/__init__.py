@@ -51,6 +51,7 @@ __all__ = [
     "synthesize_programs",
     "synthesize_all",
     "P2",
+    "PlanningService",
 ]
 
 
@@ -62,4 +63,8 @@ def __getattr__(name: str):
         from repro.api import P2
 
         return P2
+    if name == "PlanningService":
+        from repro.service.engine import PlanningService
+
+        return PlanningService
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -20,8 +20,9 @@ True
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.baselines.allreduce import default_all_reduce
 from repro.cost.model import CostModel
@@ -38,7 +39,19 @@ from repro.synthesis.pipeline import PlacementCandidate, synthesize_all
 from repro.topology.topology import MachineTopology
 from repro.utils.tabulate import format_table
 
-__all__ = ["RankedStrategy", "OptimizationPlan", "P2"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard; see repro.service
+    from repro.service.engine import PlanningService
+
+__all__ = [
+    "RankedStrategy",
+    "OptimizationPlan",
+    "P2",
+    "StrategyEntry",
+    "collect_strategy_entries",
+    "evaluate_entries_serial",
+    "rank_entries",
+    "compute_plan",
+]
 
 
 @dataclass(frozen=True)
@@ -93,11 +106,17 @@ class OptimizationPlan:
         return min(defaults, key=lambda s: s.predicted_seconds)
 
     def speedup_over_default(self) -> float:
-        """Predicted speedup of the best strategy over the best-placed AllReduce."""
+        """Predicted speedup of the best strategy over the best-placed AllReduce.
+
+        A zero-step strategy (the reduction groups are singletons, so no
+        communication is needed) is predicted at 0.0s; against a default that
+        does take time the speedup is infinite, not 1.0.  When the default
+        itself is also free the two are equal and the speedup is 1.0.
+        """
         best = self.best.predicted_seconds
         default = self.default_all_reduce().predicted_seconds
         if best <= 0:
-            return 1.0
+            return float("inf") if default > 0 else 1.0
         return default / best
 
     def describe(self, top_k: int = 5) -> str:
@@ -117,6 +136,134 @@ class OptimizationPlan:
         )
 
 
+@dataclass(frozen=True)
+class StrategyEntry:
+    """One (candidate, lowered program) pair awaiting cost evaluation.
+
+    The entry list is the contract between synthesis and ranking: the serial
+    path, the process-pool path (:mod:`repro.service.parallel`) and the
+    planning service all build the same entries in the same order, so a
+    stable sort over the predicted times yields the identical ranking no
+    matter who computed them.
+    """
+
+    candidate: PlacementCandidate
+    lowered: LoweredProgram
+    mnemonic: str
+    is_default_all_reduce: bool
+
+
+def collect_strategy_entries(
+    candidates: Sequence[PlacementCandidate], request: ReductionRequest
+) -> List[StrategyEntry]:
+    """Flatten placement candidates into the evaluation-order entry list."""
+    entries: List[StrategyEntry] = []
+    for candidate in candidates:
+        baseline = default_all_reduce(candidate.placement, request)
+        entries.append(StrategyEntry(candidate, baseline, "AR", True))
+        for program in candidate.programs:
+            if program.is_default_all_reduce:
+                continue
+            entries.append(
+                StrategyEntry(candidate, program.lowered, program.mnemonic, False)
+            )
+    return entries
+
+
+def evaluate_entries_serial(
+    entries: Sequence[StrategyEntry],
+    topology: MachineTopology,
+    cost_model: CostModel,
+    bytes_per_device: int,
+    algorithm: NCCLAlgorithm,
+) -> List[float]:
+    """Predicted seconds per entry, computed in-process (zero-step programs are free)."""
+    simulator = ProgramSimulator(topology, cost_model)
+    return [
+        0.0
+        if entry.lowered.num_steps == 0
+        else simulator.simulate(entry.lowered, bytes_per_device, algorithm).total_seconds
+        for entry in entries
+    ]
+
+
+def compute_plan(
+    topology: MachineTopology,
+    cost_model: CostModel,
+    axes: ParallelismAxes,
+    request: ReductionRequest,
+    bytes_per_device: int,
+    algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+    max_program_size: int = 5,
+    max_matrices: Optional[int] = None,
+    evaluator=None,
+) -> Tuple["OptimizationPlan", float, float]:
+    """The cold-path pipeline shared by :meth:`P2.optimize` and the service.
+
+    Synthesizes all candidates, evaluates them (through ``evaluator`` — any
+    object with an ``evaluate(programs, bytes_per_device, algorithm)`` method,
+    e.g. a :class:`~repro.service.parallel.ParallelEvaluator` — or serially
+    when ``None``) and ranks them.  Keeping this in one place is what makes
+    the service's fingerprint-keyed cache sound: both entry points compute
+    plans from the same inputs the same way.  Returns the plan plus the
+    synthesis and evaluation wall-clock seconds.
+    """
+    synth_start = time.perf_counter()
+    candidates = synthesize_all(
+        topology.hierarchy,
+        axes,
+        request,
+        max_program_size=max_program_size,
+        max_matrices=max_matrices,
+    )
+    entries = collect_strategy_entries(candidates, request)
+    synthesis_seconds = time.perf_counter() - synth_start
+
+    eval_start = time.perf_counter()
+    if evaluator is not None:
+        predicted = evaluator.evaluate(
+            [entry.lowered for entry in entries], bytes_per_device, algorithm
+        )
+    else:
+        predicted = evaluate_entries_serial(
+            entries, topology, cost_model, bytes_per_device, algorithm
+        )
+    evaluation_seconds = time.perf_counter() - eval_start
+
+    plan = OptimizationPlan(
+        axes=axes,
+        request=request,
+        bytes_per_device=bytes_per_device,
+        algorithm=algorithm,
+        strategies=rank_entries(entries, predicted),
+        candidates=candidates,
+    )
+    return plan, synthesis_seconds, evaluation_seconds
+
+
+def rank_entries(
+    entries: Sequence[StrategyEntry], predicted: Sequence[float]
+) -> List[RankedStrategy]:
+    """Pair entries with their predicted times and stable-sort into a ranking."""
+    if len(entries) != len(predicted):
+        raise EvaluationError(
+            f"{len(predicted)} predictions for {len(entries)} strategy entries"
+        )
+    strategies = [
+        RankedStrategy(
+            matrix=entry.candidate.matrix,
+            program=entry.lowered,
+            mnemonic=entry.mnemonic,
+            predicted_seconds=seconds,
+            is_default_all_reduce=entry.is_default_all_reduce,
+            candidate=entry.candidate,
+        )
+        for entry, seconds in zip(entries, predicted)
+    ]
+    strategies.sort(key=lambda s: s.predicted_seconds)
+    return strategies
+
+
 @dataclass
 class P2:
     """The end-to-end tool: placement synthesis + strategy synthesis + ranking."""
@@ -134,53 +281,74 @@ class P2:
         bytes_per_device: int,
         algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
         max_matrices: Optional[int] = None,
+        service: Optional["PlanningService"] = None,
+        n_workers: Optional[int] = None,
     ) -> OptimizationPlan:
-        """Synthesize and rank every (placement, strategy) candidate."""
+        """Synthesize and rank every (placement, strategy) candidate.
+
+        Parameters
+        ----------
+        service:
+            Opt-in: route the query through a
+            :class:`~repro.service.engine.PlanningService` (plan caching,
+            request stats, optional worker pool).  The service must be bound
+            to this tool's topology.
+        n_workers:
+            Opt-in: fan candidate simulation out over a process pool of this
+            size (``service`` takes precedence; the service manages its own
+            pool).  The ranking is identical to the serial path.
+        """
         if bytes_per_device <= 0:
             raise EvaluationError("bytes_per_device must be positive")
-        candidates = synthesize_all(
-            self.topology.hierarchy,
-            axes,
-            request,
-            max_program_size=self.max_program_size,
-            max_matrices=max_matrices,
-        )
-        simulator = ProgramSimulator(self.topology, self.cost_model)
-        strategies: List[RankedStrategy] = []
-        for candidate in candidates:
-            entries: List[Tuple[LoweredProgram, str, bool]] = []
-            baseline = default_all_reduce(candidate.placement, request)
-            entries.append((baseline, "AR", True))
-            for program in candidate.programs:
-                if program.is_default_all_reduce:
-                    continue
-                entries.append((program.lowered, program.mnemonic, False))
-            for lowered, mnemonic, is_default in entries:
-                if lowered.num_steps == 0:
-                    predicted = 0.0
-                else:
-                    predicted = simulator.simulate(
-                        lowered, bytes_per_device, algorithm
-                    ).total_seconds
-                strategies.append(
-                    RankedStrategy(
-                        matrix=candidate.matrix,
-                        program=lowered,
-                        mnemonic=mnemonic,
-                        predicted_seconds=predicted,
-                        is_default_all_reduce=is_default,
-                        candidate=candidate,
-                    )
+        if service is not None:
+            if not service.compatible_with(self.topology):
+                raise EvaluationError(
+                    f"planning service is bound to topology "
+                    f"{service.topology.name!r}, not this tool's {self.topology.name!r}"
                 )
-        strategies.sort(key=lambda s: s.predicted_seconds)
-        return OptimizationPlan(
-            axes=axes,
-            request=request,
-            bytes_per_device=bytes_per_device,
-            algorithm=algorithm,
-            strategies=strategies,
-            candidates=candidates,
-        )
+            if (
+                service.cost_model != self.cost_model
+                or service.max_program_size != self.max_program_size
+            ):
+                raise EvaluationError(
+                    "planning service uses a different cost model or "
+                    "max_program_size than this tool; it would return plans "
+                    "ranked under different assumptions"
+                )
+            return service.optimize(
+                axes,
+                request,
+                bytes_per_device,
+                algorithm=algorithm,
+                max_matrices=max_matrices,
+            )
+        if n_workers is not None and n_workers > 1:
+            from repro.service.parallel import ParallelEvaluator
+
+            with ParallelEvaluator(self.topology, self.cost_model, n_workers) as pool:
+                plan, _, _ = compute_plan(
+                    self.topology,
+                    self.cost_model,
+                    axes,
+                    request,
+                    bytes_per_device,
+                    algorithm,
+                    max_program_size=self.max_program_size,
+                    max_matrices=max_matrices,
+                    evaluator=pool,
+                )
+        else:
+            plan, _, _ = compute_plan(
+                self.topology,
+                self.cost_model,
+                axes,
+                request,
+                bytes_per_device,
+                algorithm,
+                max_program_size=self.max_program_size,
+                max_matrices=max_matrices,
+            )
+        return plan
 
     # ------------------------------------------------------------------ #
     def simulate(

@@ -7,6 +7,9 @@
 * ``repro-cli plan`` — choose one placement for several reductions at once
   (gradients + activations, each with its own payload and frequency).
 * ``repro-cli emit`` — print the best strategy as XLA-style collective ops.
+* ``repro-cli serve-batch`` — answer a batch of optimize queries through the
+  planning service (plan cache + optional worker pool + per-request stats).
+* ``repro-cli cache stats | clear`` — inspect or clear an on-disk plan cache.
 * ``repro-cli table3 | table4 | table5`` — regenerate the paper tables.
 * ``repro-cli figure11`` — regenerate the Figure 11 series.
 * ``repro-cli sweep`` — run the appendix sweep (optionally a quick subset).
@@ -65,11 +68,57 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--bytes", type=int, default=None,
                        help="payload bytes per device (default: the paper's 2^29*nodes floats)")
 
+    def add_search_limit_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--max-matrices", type=int, default=None,
+                       help="cap the number of parallelism matrices considered "
+                            "(bounds the search on large topologies)")
+        p.add_argument("--max-program-size", type=int, default=5,
+                       help="program-size limit for strategy synthesis (default 5)")
+
     p_opt = sub.add_parser("optimize", help="synthesize and rank strategies for one shape")
     add_shape_arguments(p_opt)
+    add_search_limit_arguments(p_opt)
     p_opt.add_argument("--reduce", type=int, nargs="+", default=[0],
                        help="reduction axis indices, e.g. --reduce 0 2")
     p_opt.add_argument("--top", type=int, default=10)
+    p_opt.add_argument("--workers", type=int, default=None,
+                       help="evaluate candidates on a process pool of this size")
+
+    p_batch = sub.add_parser(
+        "serve-batch",
+        help="answer a batch of optimize queries through the planning service",
+    )
+    p_batch.add_argument("--system", choices=[s.value for s in SystemKind], default="a100")
+    p_batch.add_argument("--nodes", type=int, default=2)
+    add_search_limit_arguments(p_batch)
+    p_batch.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        metavar="AXES:REDUCE:BYTES[:ALGO]",
+        help="one query, e.g. --query 8,4:0:67108864 or --query 2,16:1:1048576:tree "
+             "(repeatable; omit BYTES for the paper payload)",
+    )
+    p_batch.add_argument(
+        "--queries-file", type=str, default=None,
+        help='JSON file with a list of {"axes": [8,4], "reduce": [0], '
+             '"bytes": 67108864, "algorithm": "ring"} objects',
+    )
+    p_batch.add_argument("--cache-dir", type=str, default=None,
+                         help="persist plans here (warm-starts later runs)")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="process-pool size for cold-path evaluation")
+    p_batch.add_argument("--top", type=int, default=1,
+                         help="strategies to print per query")
+
+    p_cache = sub.add_parser("cache", help="inspect or clear an on-disk plan cache")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for cache_name, cache_help in [
+        ("stats", "print entry count, size and fingerprints of a plan cache"),
+        ("clear", "delete every entry of a plan cache"),
+    ]:
+        p = cache_sub.add_parser(cache_name, help=cache_help)
+        p.add_argument("--cache-dir", type=str, required=True)
 
     p_plan = sub.add_parser(
         "plan", help="choose one placement for several reductions (one --reduction per reduction)"
@@ -108,18 +157,123 @@ def _run_optimize(args: argparse.Namespace) -> int:
     system = SystemKind(args.system)
     topology = system.build(args.nodes)
     bytes_per_device = args.bytes or paper_payload_bytes(args.nodes)
-    p2 = P2(topology)
+    p2 = P2(topology, max_program_size=args.max_program_size)
     plan = p2.optimize(
         ParallelismAxes(tuple(args.axes)),
         ReductionRequest(tuple(args.reduce)),
         bytes_per_device=bytes_per_device,
         algorithm=NCCLAlgorithm(args.algorithm),
+        max_matrices=args.max_matrices,
+        n_workers=args.workers,
     )
     print(plan.describe(top_k=args.top))
     print()
     print(f"best strategy: {plan.best.describe()}")
     print(f"speedup over best-placed AllReduce: {plan.speedup_over_default():.2f}x")
     return 0
+
+
+def _parse_batch_query(spec: str, default_bytes: int, max_matrices: Optional[int]):
+    from repro.service import PlanningRequest
+
+    parts = spec.split(":")
+    if len(parts) not in (2, 3, 4):
+        raise SystemExit(
+            f"--query must look like AXES:REDUCE[:BYTES[:ALGO]], got {spec!r}"
+        )
+    try:
+        axes = tuple(int(a) for a in parts[0].split(",") if a != "")
+        reduce_axes = tuple(int(a) for a in parts[1].split(",") if a != "")
+        payload = int(parts[2]) if len(parts) >= 3 and parts[2] else default_bytes
+        algorithm = NCCLAlgorithm(parts[3]) if len(parts) == 4 else NCCLAlgorithm.RING
+    except ValueError as error:
+        raise SystemExit(f"bad --query {spec!r}: {error}")
+    return PlanningRequest(
+        axes=ParallelismAxes(axes),
+        request=ReductionRequest(reduce_axes),
+        bytes_per_device=payload,
+        algorithm=algorithm,
+        max_matrices=max_matrices,
+    )
+
+
+def _load_batch_queries(path: str, default_bytes: int, max_matrices: Optional[int]):
+    import json
+
+    from repro.service import PlanningRequest
+
+    with open(path) as handle:
+        entries = json.load(handle)
+    if not isinstance(entries, list):
+        raise SystemExit(f"{path}: expected a JSON list of query objects")
+    requests = []
+    for index, entry in enumerate(entries):
+        try:
+            requests.append(
+                PlanningRequest(
+                    axes=ParallelismAxes(tuple(entry["axes"])),
+                    request=ReductionRequest(tuple(entry["reduce"])),
+                    bytes_per_device=int(entry.get("bytes", default_bytes)),
+                    algorithm=NCCLAlgorithm(entry.get("algorithm", "ring")),
+                    max_matrices=max_matrices,
+                )
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise SystemExit(f"{path}: bad query #{index}: {error!r}")
+    return requests
+
+
+def _run_serve_batch(args: argparse.Namespace) -> int:
+    from repro.service import PlanCache, PlanningService
+
+    system = SystemKind(args.system)
+    topology = system.build(args.nodes)
+    default_bytes = paper_payload_bytes(args.nodes)
+
+    requests = []
+    if args.queries_file:
+        requests.extend(
+            _load_batch_queries(args.queries_file, default_bytes, args.max_matrices)
+        )
+    for spec in args.query or []:
+        requests.append(_parse_batch_query(spec, default_bytes, args.max_matrices))
+    if not requests:
+        raise SystemExit("serve-batch needs at least one --query or --queries-file")
+
+    cache = PlanCache(directory=args.cache_dir)
+    with PlanningService(
+        topology,
+        max_program_size=args.max_program_size,
+        cache=cache,
+        n_workers=args.workers,
+    ) as service:
+        responses = service.optimize_many(requests)
+        for response in responses:
+            print(f"query {response.request.describe()}")
+            print(f"  {response.stats.describe()}")
+            for strategy in response.plan.top(args.top):
+                print(f"  {strategy.describe()}")
+        print()
+        print(service.describe())
+    return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    from repro.service import PlanCache
+
+    cache = PlanCache(directory=args.cache_dir)
+    if args.cache_command == "stats":
+        fingerprints = cache.disk_fingerprints()
+        print(f"cache at {args.cache_dir}: {len(fingerprints)} entries, "
+              f"{cache.disk_bytes() / 1e3:.1f} kB")
+        for fingerprint in fingerprints:
+            print(f"  {fingerprint}")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached plans from {args.cache_dir}")
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")  # pragma: no cover
 
 
 def _parse_weighted_reduction(spec: str, default_bytes: int):
@@ -203,6 +357,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "plan":
         return _run_plan(args)
+
+    if args.command == "serve-batch":
+        return _run_serve_batch(args)
+
+    if args.command == "cache":
+        return _run_cache(args)
 
     if args.command == "emit":
         return _run_emit(args)

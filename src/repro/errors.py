@@ -60,3 +60,7 @@ class VerificationError(RuntimeExecutionError):
 
 class EvaluationError(ReproError):
     """Raised by the experiment harness for malformed experiment configs."""
+
+
+class ServiceError(ReproError):
+    """Raised by the planning service for malformed requests or cache state."""

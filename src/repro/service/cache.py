@@ -1,0 +1,391 @@
+"""Two-tier plan cache: an in-memory LRU over a JSON-on-disk store.
+
+The cache maps query fingerprints (:mod:`repro.service.fingerprint`) to
+serialized :class:`~repro.api.OptimizationPlan` objects.  Lookups try the
+in-memory tier first (bounded LRU, cheap), then the disk tier (one JSON file
+per fingerprint, shared across processes and restarts); disk hits are
+promoted back into memory.  The serialization follows the conventions of
+:mod:`repro.analysis.serialization`: only plain data is stored, with a
+``format_version`` gate, and reconstruction rebuilds real domain objects.
+
+Unlike the sweep-result store, plans *do* persist their lowered programs
+(collective + device groups per step) — re-synthesizing them would forfeit
+the point of caching — but not the synthesizer's search state, which is why
+reconstructed candidates carry ``synthesis=None``.
+
+Corrupted or incompatible entries (truncated writes, format bumps, a file
+renamed to the wrong fingerprint) are treated as misses: the entry is
+deleted, counted in :attr:`CacheStats.corrupt_entries`, and the caller
+recomputes the plan.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api import OptimizationPlan, RankedStrategy
+from repro.cost.nccl import NCCLAlgorithm
+from repro.errors import ServiceError
+from repro.hierarchy.levels import SystemHierarchy
+from repro.hierarchy.matrix import ParallelismMatrix
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.hierarchy.placement import DevicePlacement
+from repro.semantics.collectives import Collective
+from repro.synthesis.hierarchy import build_synthesis_hierarchy
+from repro.synthesis.lowering import LoweredProgram, LoweredStep
+from repro.synthesis.pipeline import PlacementCandidate, ProgramCandidate
+
+__all__ = [
+    "PLAN_FORMAT_VERSION",
+    "plan_to_dict",
+    "plan_from_dict",
+    "CacheStats",
+    "PlanCache",
+]
+
+PLAN_FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# Plan (de)serialization
+# --------------------------------------------------------------------------- #
+def _program_to_dict(program: LoweredProgram) -> Dict:
+    return {
+        "label": program.label,
+        "steps": [
+            {
+                "collective": step.collective.value,
+                "groups": [list(group) for group in step.groups],
+            }
+            for step in program.steps
+        ],
+    }
+
+
+def _program_from_dict(data: Dict, num_devices: int) -> LoweredProgram:
+    steps = tuple(
+        LoweredStep(
+            collective=Collective(step["collective"]),
+            groups=tuple(tuple(int(d) for d in group) for group in step["groups"]),
+        )
+        for step in data["steps"]
+    )
+    return LoweredProgram(
+        num_devices=num_devices, steps=steps, source=None, label=data["label"]
+    )
+
+
+def plan_to_dict(plan: OptimizationPlan) -> Dict:
+    """Serialize an optimization plan to a JSON-compatible dict."""
+    hierarchy = plan.candidates[0].matrix.hierarchy if plan.candidates else None
+    if hierarchy is None and plan.strategies:
+        hierarchy = plan.strategies[0].matrix.hierarchy
+    if hierarchy is None:
+        raise ServiceError("cannot serialize an empty optimization plan")
+    return {
+        "format_version": PLAN_FORMAT_VERSION,
+        "hierarchy": {
+            "names": list(hierarchy.names),
+            "cardinalities": list(hierarchy.cardinalities),
+        },
+        "axes": {"sizes": list(plan.axes.sizes), "names": list(plan.axes.names)},
+        "request": {"axes": list(plan.request.axes)},
+        "bytes_per_device": plan.bytes_per_device,
+        "algorithm": plan.algorithm.value,
+        "candidates": [
+            {
+                "matrix": [list(row) for row in candidate.matrix.entries],
+                "synthesis_seconds": candidate.synthesis_seconds,
+            }
+            for candidate in plan.candidates
+        ],
+        "strategies": [
+            {
+                "matrix": [list(row) for row in strategy.matrix.entries],
+                "mnemonic": strategy.mnemonic,
+                "predicted_seconds": strategy.predicted_seconds,
+                "is_default_all_reduce": strategy.is_default_all_reduce,
+                "program": _program_to_dict(strategy.program),
+            }
+            for strategy in plan.strategies
+        ],
+    }
+
+
+def plan_from_dict(data: Dict) -> OptimizationPlan:
+    """Reconstruct an optimization plan from :func:`plan_to_dict` output.
+
+    The ranking — strategy order, matrices, mnemonics, lowered programs and
+    predicted times — is reproduced exactly.  Candidates are rebuilt with a
+    fresh synthesis hierarchy (a cheap pure function of matrix + request) and
+    ``synthesis=None``; their program lists mirror the ranked strategies.
+    """
+    version = data.get("format_version")
+    if version != PLAN_FORMAT_VERSION:
+        raise ServiceError(
+            f"unsupported plan format version {version!r} (expected {PLAN_FORMAT_VERSION})"
+        )
+    hierarchy = SystemHierarchy.from_cardinalities(
+        data["hierarchy"]["cardinalities"], tuple(data["hierarchy"]["names"])
+    )
+    axes = ParallelismAxes(
+        tuple(data["axes"]["sizes"]), tuple(data["axes"]["names"])
+    )
+    request = ReductionRequest(tuple(data["request"]["axes"]))
+    algorithm = NCCLAlgorithm(data["algorithm"])
+
+    candidates: List[PlacementCandidate] = []
+    by_entries: Dict[Tuple[Tuple[int, ...], ...], PlacementCandidate] = {}
+
+    def _candidate_for(entries: Tuple[Tuple[int, ...], ...], synthesis_seconds: float = 0.0):
+        if entries not in by_entries:
+            matrix = ParallelismMatrix(hierarchy, axes, entries)
+            candidate = PlacementCandidate(
+                matrix=matrix,
+                placement=DevicePlacement(matrix),
+                hierarchy=build_synthesis_hierarchy(matrix, request),
+                synthesis=None,
+                programs=[],
+                synthesis_seconds=synthesis_seconds,
+            )
+            by_entries[entries] = candidate
+            candidates.append(candidate)
+        return by_entries[entries]
+
+    for entry in data["candidates"]:
+        matrix_entries = tuple(tuple(int(x) for x in row) for row in entry["matrix"])
+        _candidate_for(matrix_entries, entry["synthesis_seconds"])
+
+    strategies: List[RankedStrategy] = []
+    for entry in data["strategies"]:
+        matrix_entries = tuple(tuple(int(x) for x in row) for row in entry["matrix"])
+        candidate = _candidate_for(matrix_entries)
+        program = _program_from_dict(entry["program"], hierarchy.num_devices)
+        candidate.programs.append(
+            ProgramCandidate(
+                lowered=program,
+                mnemonic=entry["mnemonic"],
+                size=program.num_steps,
+                is_default_all_reduce=entry["is_default_all_reduce"],
+            )
+        )
+        strategies.append(
+            RankedStrategy(
+                matrix=candidate.matrix,
+                program=program,
+                mnemonic=entry["mnemonic"],
+                predicted_seconds=entry["predicted_seconds"],
+                is_default_all_reduce=entry["is_default_all_reduce"],
+                candidate=candidate,
+            )
+        )
+
+    return OptimizationPlan(
+        axes=axes,
+        request=request,
+        bytes_per_device=data["bytes_per_device"],
+        algorithm=algorithm,
+        strategies=strategies,
+        candidates=candidates,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The cache proper
+# --------------------------------------------------------------------------- #
+@dataclass
+class CacheStats:
+    """Counters accumulated over the lifetime of one :class:`PlanCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt_entries: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def demote_hit(self, tier: Optional[str]) -> None:
+        """Reclassify the most recent hit on ``tier`` as a miss.
+
+        Used when a looked-up entry turns out to be unusable (it parsed as
+        JSON but failed plan deserialization) so hit rates reflect requests
+        actually served from cache.
+        """
+        if tier == "memory" and self.memory_hits > 0:
+            self.memory_hits -= 1
+            self.misses += 1
+        elif tier == "disk" and self.disk_hits > 0:
+            self.disk_hits -= 1
+            self.misses += 1
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"lookups={self.lookups} hits={self.hits} "
+            f"(memory={self.memory_hits}, disk={self.disk_hits}) "
+            f"misses={self.misses} hit_rate={self.hit_rate:.0%} "
+            f"stores={self.stores} evictions={self.evictions} "
+            f"corrupt={self.corrupt_entries}"
+        )
+
+
+class PlanCache:
+    """Two-tier (memory LRU + optional JSON-on-disk) store of serialized plans.
+
+    Parameters
+    ----------
+    directory:
+        Where to persist entries; ``None`` keeps the cache memory-only.
+    capacity:
+        Maximum number of plans held in the memory tier; the least recently
+        used entry is evicted first (disk entries are never evicted by size).
+    """
+
+    def __init__(
+        self, directory: Optional[Union[str, Path]] = None, capacity: int = 128
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.directory = (
+            Path(directory).expanduser() if directory is not None else None
+        )
+        self._memory: "OrderedDict[str, Dict]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+    def _entry_path(self, fingerprint: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{fingerprint}.json"
+
+    def lookup(self, fingerprint: str) -> Tuple[Optional[Dict], Optional[str]]:
+        """Return ``(plan_dict, tier)`` where tier is ``"memory"``/``"disk"``/``None``."""
+        if fingerprint in self._memory:
+            self._memory.move_to_end(fingerprint)
+            self.stats.memory_hits += 1
+            return self._memory[fingerprint], "memory"
+        plan = self._read_disk(fingerprint)
+        if plan is not None:
+            self.stats.disk_hits += 1
+            self._insert_memory(fingerprint, plan)
+            return plan, "disk"
+        self.stats.misses += 1
+        return None, None
+
+    def get(self, fingerprint: str) -> Optional[Dict]:
+        """Return the cached plan dict for ``fingerprint``, or ``None``."""
+        return self.lookup(fingerprint)[0]
+
+    def put(self, fingerprint: str, plan: Dict) -> None:
+        """Store a serialized plan under ``fingerprint`` in both tiers."""
+        self._insert_memory(fingerprint, plan)
+        self.stats.stores += 1
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._entry_path(fingerprint)
+            envelope = {
+                "format_version": PLAN_FORMAT_VERSION,
+                "fingerprint": fingerprint,
+                "plan": plan,
+            }
+            # Write-then-rename so a crashed writer never leaves a torn entry
+            # under the final name.
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(envelope, indent=2))
+            tmp.replace(path)
+
+    def _insert_memory(self, fingerprint: str, plan: Dict) -> None:
+        self._memory[fingerprint] = plan
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _read_disk(self, fingerprint: str) -> Optional[Dict]:
+        if self.directory is None:
+            return None
+        path = self._entry_path(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            envelope = json.loads(path.read_text())
+            if envelope["format_version"] != PLAN_FORMAT_VERSION:
+                raise ServiceError("stale cache format")
+            if envelope["fingerprint"] != fingerprint:
+                raise ServiceError("fingerprint mismatch")
+            plan = envelope["plan"]
+            if not isinstance(plan, dict):
+                raise ServiceError("malformed plan payload")
+            return plan
+        except (json.JSONDecodeError, KeyError, TypeError, ServiceError):
+            self.stats.corrupt_entries += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing cleanup is best-effort
+                pass
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Introspection / maintenance
+    # ------------------------------------------------------------------ #
+    @property
+    def num_memory_entries(self) -> int:
+        return len(self._memory)
+
+    def disk_fingerprints(self) -> List[str]:
+        """Fingerprints currently persisted on disk (sorted)."""
+        if self.directory is None or not self.directory.exists():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def disk_bytes(self) -> int:
+        """Total size of the disk tier in bytes."""
+        if self.directory is None or not self.directory.exists():
+            return 0
+        return sum(p.stat().st_size for p in self.directory.glob("*.json"))
+
+    def discard(self, fingerprint: str, corrupt: bool = False) -> None:
+        """Drop one entry from both tiers (e.g. after failed deserialization)."""
+        self._memory.pop(fingerprint, None)
+        if self.directory is not None:
+            path = self._entry_path(fingerprint)
+            if path.exists():
+                path.unlink()
+        if corrupt:
+            self.stats.corrupt_entries += 1
+
+    def clear(self) -> int:
+        """Drop every entry from both tiers; return how many distinct plans were removed."""
+        fingerprints = set(self._memory)
+        self._memory.clear()
+        if self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                fingerprints.add(path.stem)
+                path.unlink()
+        return len(fingerprints)
+
+    def describe(self) -> str:
+        tiers = [f"memory {self.num_memory_entries}/{self.capacity}"]
+        if self.directory is not None:
+            tiers.append(
+                f"disk {len(self.disk_fingerprints())} entries "
+                f"({self.disk_bytes() / 1e3:.1f} kB) at {self.directory}"
+            )
+        return f"PlanCache({', '.join(tiers)}; {self.stats.describe()})"

@@ -1,0 +1,277 @@
+"""The planning service: a production-shaped engine around P² queries.
+
+:class:`PlanningService` wraps the synthesis pipeline and the simulator
+behind the three things a serving layer needs:
+
+* **caching** — every query is fingerprinted
+  (:mod:`repro.service.fingerprint`) and answered from a two-tier
+  :class:`~repro.service.cache.PlanCache` when possible; cold plans are
+  serialized back into the cache so subsequent processes warm-start from
+  disk,
+* **parallelism** — cold-path candidate evaluation optionally fans out over
+  a :class:`~repro.service.parallel.ParallelEvaluator` process pool, with a
+  ranking guaranteed identical to the serial path,
+* **a batch API** — :meth:`optimize_many` answers a list of requests,
+  deduplicating identical queries within the batch so each distinct plan is
+  computed (or fetched) once.
+
+Every answer carries :class:`RequestStats` (fingerprint, cache tier, timing
+breakdown) so callers can monitor hit rates and latency without instrumenting
+the pipeline themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.api import OptimizationPlan, compute_plan
+from repro.cost.model import CostModel
+from repro.cost.nccl import NCCLAlgorithm
+from repro.errors import ReproError, ServiceError
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.service.cache import PlanCache, plan_from_dict, plan_to_dict
+from repro.service.fingerprint import canonical_topology, query_fingerprint
+from repro.service.parallel import ParallelEvaluator
+from repro.topology.topology import MachineTopology
+
+__all__ = ["PlanningRequest", "RequestStats", "PlanningResponse", "PlanningService"]
+
+
+@dataclass(frozen=True)
+class PlanningRequest:
+    """One query against the planning service (the batch API's unit of work)."""
+
+    axes: ParallelismAxes
+    request: ReductionRequest
+    bytes_per_device: int
+    algorithm: NCCLAlgorithm = NCCLAlgorithm.RING
+    max_matrices: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_device <= 0:
+            raise ServiceError("bytes_per_device must be positive")
+        self.request.validate_against(self.axes)
+
+    def describe(self) -> str:
+        return (
+            f"{self.axes.describe()} {self.request.describe(self.axes)}, "
+            f"{self.bytes_per_device / 1e6:.0f} MB, {self.algorithm}"
+        )
+
+
+@dataclass
+class RequestStats:
+    """How one request was answered: cache tier and timing breakdown."""
+
+    fingerprint: str
+    cache_tier: Optional[str]  # "memory" | "disk" | None (cold)
+    total_seconds: float = 0.0
+    synthesis_seconds: float = 0.0
+    evaluation_seconds: float = 0.0
+    num_candidates: int = 0
+    num_strategies: int = 0
+    n_workers: int = 1
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache_tier is not None
+
+    def describe(self) -> str:
+        source = self.cache_tier or "cold"
+        detail = (
+            f"synthesis {self.synthesis_seconds * 1e3:.1f} ms, "
+            f"evaluation {self.evaluation_seconds * 1e3:.1f} ms, "
+            f"{self.n_workers} worker(s)"
+            if not self.cache_hit
+            else "cached plan"
+        )
+        return (
+            f"[{source}] {self.num_strategies} strategies over "
+            f"{self.num_candidates} placements in {self.total_seconds * 1e3:.1f} ms ({detail})"
+        )
+
+
+@dataclass
+class PlanningResponse:
+    """One answered request: the plan plus how it was produced."""
+
+    request: PlanningRequest
+    plan: OptimizationPlan
+    stats: RequestStats
+
+
+class PlanningService:
+    """Cached, optionally parallel, batch-capable front end to P².
+
+    Parameters
+    ----------
+    topology / cost_model / max_program_size:
+        The fixed parts of every query this service answers; they participate
+        in each request's fingerprint.
+    cache:
+        The plan cache to serve from; defaults to a fresh memory-only
+        :class:`PlanCache`.  Pass one with a ``directory`` to warm-start
+        across processes.
+    n_workers:
+        Pool size for cold-path candidate evaluation; ``None`` or ``1``
+        evaluates serially.  The pool is created lazily and shared across
+        requests; call :meth:`close` (or use the service as a context
+        manager) to release it.
+    """
+
+    def __init__(
+        self,
+        topology: MachineTopology,
+        cost_model: Optional[CostModel] = None,
+        max_program_size: int = 5,
+        cache: Optional[PlanCache] = None,
+        n_workers: Optional[int] = None,
+    ) -> None:
+        self.topology = topology
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.max_program_size = max_program_size
+        self.cache = cache if cache is not None else PlanCache()
+        self.n_workers = max(1, n_workers or 1)
+        self._evaluator: Optional[ParallelEvaluator] = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------ #
+    # Single-request API
+    # ------------------------------------------------------------------ #
+    def fingerprint(self, request: PlanningRequest) -> str:
+        """The cache key this service uses for ``request``."""
+        return query_fingerprint(
+            self.topology,
+            request.axes,
+            request.request,
+            request.bytes_per_device,
+            request.algorithm,
+            self.cost_model,
+            self.max_program_size,
+            request.max_matrices,
+        )
+
+    def optimize(
+        self,
+        axes: ParallelismAxes,
+        request: ReductionRequest,
+        bytes_per_device: int,
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+        max_matrices: Optional[int] = None,
+    ) -> OptimizationPlan:
+        """Drop-in replacement for :meth:`repro.api.P2.optimize`."""
+        return self.submit(
+            PlanningRequest(axes, request, bytes_per_device, algorithm, max_matrices)
+        ).plan
+
+    def submit(self, request: PlanningRequest) -> PlanningResponse:
+        """Answer one request, from cache when possible."""
+        start = time.perf_counter()
+        fingerprint = self.fingerprint(request)
+        cached, tier = self.cache.lookup(fingerprint)
+        if cached is not None:
+            try:
+                plan = plan_from_dict(cached)
+            except (ReproError, KeyError, TypeError, ValueError):
+                # A well-formed envelope around a semantically broken plan:
+                # honour the cache contract (corrupt entries are misses) and
+                # recompute rather than crash the service.
+                self.cache.discard(fingerprint, corrupt=True)
+                self.cache.stats.demote_hit(tier)
+                cached = None
+        if cached is not None:
+            stats = RequestStats(fingerprint=fingerprint, cache_tier=tier)
+        else:
+            plan, stats = self._compute(request, fingerprint)
+            self.cache.put(fingerprint, plan_to_dict(plan))
+        stats.num_candidates = len(plan.candidates)
+        stats.num_strategies = len(plan.strategies)
+        stats.total_seconds = time.perf_counter() - start
+        self.requests_served += 1
+        return PlanningResponse(request=request, plan=plan, stats=stats)
+
+    def _compute(
+        self, request: PlanningRequest, fingerprint: str
+    ) -> "tuple[OptimizationPlan, RequestStats]":
+        evaluator = self._ensure_evaluator() if self.n_workers > 1 else None
+        plan, synthesis_seconds, evaluation_seconds = compute_plan(
+            self.topology,
+            self.cost_model,
+            request.axes,
+            request.request,
+            request.bytes_per_device,
+            request.algorithm,
+            max_program_size=self.max_program_size,
+            max_matrices=request.max_matrices,
+            evaluator=evaluator,
+        )
+        stats = RequestStats(
+            fingerprint=fingerprint,
+            cache_tier=None,
+            synthesis_seconds=synthesis_seconds,
+            evaluation_seconds=evaluation_seconds,
+            n_workers=self.n_workers,
+        )
+        return plan, stats
+
+    # ------------------------------------------------------------------ #
+    # Batch API
+    # ------------------------------------------------------------------ #
+    def optimize_many(
+        self, requests: Sequence[PlanningRequest]
+    ) -> List[PlanningResponse]:
+        """Answer a batch of requests, computing each distinct query once.
+
+        Duplicate queries (same fingerprint) within the batch are answered
+        from the cache — only the first occurrence pays synthesis and
+        simulation; the rest pay a lookup plus plan reconstruction.  Each
+        response's stats report how *its* lookup was served, so a duplicate
+        of a cold query shows up as a memory hit.
+        """
+        responses: List[PlanningResponse] = []
+        for request in requests:
+            responses.append(self.submit(request))
+        return responses
+
+    def warm(self, requests: Sequence[PlanningRequest]) -> int:
+        """Precompute plans for ``requests``; return how many were cold."""
+        cold = 0
+        for response in self.optimize_many(requests):
+            if not response.stats.cache_hit:
+                cold += 1
+        return cold
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def compatible_with(self, topology: MachineTopology) -> bool:
+        """True when ``topology`` is canonically identical to this service's."""
+        return canonical_topology(topology) == canonical_topology(self.topology)
+
+    def _ensure_evaluator(self) -> ParallelEvaluator:
+        if self._evaluator is None:
+            self._evaluator = ParallelEvaluator(
+                self.topology, self.cost_model, self.n_workers
+            )
+        return self._evaluator
+
+    def close(self) -> None:
+        """Release the worker pool (the cache is left intact)."""
+        if self._evaluator is not None:
+            self._evaluator.close()
+            self._evaluator = None
+
+    def __enter__(self) -> "PlanningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        return (
+            f"PlanningService({self.topology.name}, max_program_size="
+            f"{self.max_program_size}, workers={self.n_workers}, "
+            f"served={self.requests_served}; {self.cache.describe()})"
+        )

@@ -1,0 +1,129 @@
+"""Deterministic fingerprints for planning queries.
+
+The planning service caches :class:`~repro.api.OptimizationPlan` objects by
+the *query* that produced them.  Because the whole pipeline — placement
+enumeration, program synthesis, lowering and simulation — is a deterministic
+function of (topology, axes, request, payload, algorithm, cost model, search
+limits), a canonical hash over exactly those inputs is a sound cache key: two
+queries with the same fingerprint always produce the same ranked plan.
+
+The canonical form is a plain JSON-serializable dict (useful on its own for
+logging and for embedding in cache entries); the fingerprint is the SHA-256
+of its compact, key-sorted JSON encoding.  Only stable value types (strings,
+ints, floats, lists, ``None``) appear in the canonical form, so fingerprints
+are identical across process restarts and unaffected by ``PYTHONHASHSEED``.
+
+``FINGERPRINT_VERSION`` participates in the hash: bump it whenever the
+canonical form or any pipeline semantics change, and every previously cached
+plan is invalidated at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+from repro.cost.model import CostModel
+from repro.cost.nccl import NCCLAlgorithm
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.topology.links import LinkSpec
+from repro.topology.topology import MachineTopology
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "canonical_topology",
+    "canonical_cost_model",
+    "canonical_query",
+    "query_fingerprint",
+]
+
+FINGERPRINT_VERSION = 1
+
+
+def _link_to_dict(link: LinkSpec) -> Dict:
+    return {
+        "name": link.name,
+        "kind": link.kind.value,
+        "bandwidth": link.bandwidth,
+        "latency": link.latency,
+    }
+
+
+def canonical_topology(topology: MachineTopology) -> Dict:
+    """Canonical JSON-serializable form of a machine topology."""
+    return {
+        "name": topology.name,
+        "levels": [
+            [level.name, level.cardinality] for level in topology.hierarchy.levels
+        ],
+        "interconnects": [_link_to_dict(link) for link in topology.interconnects],
+        "nic_level": topology.nic_level,
+        "nics_per_instance": topology.nics_per_instance,
+        "host_link": (
+            _link_to_dict(topology.host_link) if topology.host_link is not None else None
+        ),
+    }
+
+
+def canonical_cost_model(cost_model: CostModel) -> Dict:
+    """Canonical JSON-serializable form of the cost-model knobs."""
+    return {
+        "launch_overhead": cost_model.launch_overhead,
+        "small_message_bytes": cost_model.small_message_bytes,
+        "small_message_efficiency": cost_model.small_message_efficiency,
+    }
+
+
+def canonical_query(
+    topology: MachineTopology,
+    axes: ParallelismAxes,
+    request: ReductionRequest,
+    bytes_per_device: int,
+    algorithm: NCCLAlgorithm,
+    cost_model: CostModel,
+    max_program_size: int,
+    max_matrices: Optional[int] = None,
+) -> Dict:
+    """The full canonical form of one planning query.
+
+    Everything :meth:`repro.api.P2.optimize` consumes appears here; nothing
+    else does, so the fingerprint neither over- nor under-approximates the
+    pipeline's true input.
+    """
+    return {
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "topology": canonical_topology(topology),
+        "axes": {"sizes": list(axes.sizes), "names": list(axes.names)},
+        "request": {"axes": list(request.axes)},
+        "bytes_per_device": int(bytes_per_device),
+        "algorithm": algorithm.value,
+        "cost_model": canonical_cost_model(cost_model),
+        "max_program_size": int(max_program_size),
+        "max_matrices": None if max_matrices is None else int(max_matrices),
+    }
+
+
+def query_fingerprint(
+    topology: MachineTopology,
+    axes: ParallelismAxes,
+    request: ReductionRequest,
+    bytes_per_device: int,
+    algorithm: NCCLAlgorithm,
+    cost_model: CostModel,
+    max_program_size: int,
+    max_matrices: Optional[int] = None,
+) -> str:
+    """SHA-256 fingerprint of one planning query (64 hex characters)."""
+    canonical = canonical_query(
+        topology,
+        axes,
+        request,
+        bytes_per_device,
+        algorithm,
+        cost_model,
+        max_program_size,
+        max_matrices,
+    )
+    encoded = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

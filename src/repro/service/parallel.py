@@ -1,0 +1,121 @@
+"""Parallel candidate evaluation over a process pool.
+
+Ranking a plan means simulating every (placement, strategy) candidate — an
+embarrassingly parallel workload once synthesis has produced the lowered
+programs.  :class:`ParallelEvaluator` fans the simulations out over a
+``concurrent.futures.ProcessPoolExecutor`` and returns the predicted times
+*in submission order*, so the caller's ranking (a stable sort over those
+times) is identical to the serial path's: the workers run the very same
+:class:`~repro.cost.simulator.ProgramSimulator` arithmetic, and result order
+is preserved by index.
+
+The topology and cost model are shipped to each worker once (pool
+initializer) rather than per task; tasks carry only the lowered program and
+the payload.  Zero-step programs are priced at 0.0 inline, matching the
+serial path, and never cross the process boundary.
+
+With ``n_workers=1`` (or a single evaluatable program) everything runs
+inline in the calling process — same results, no pool overhead — which is
+also the automatic fallback on single-CPU hosts.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cost.model import CostModel
+from repro.cost.nccl import NCCLAlgorithm
+from repro.cost.simulator import ProgramSimulator
+from repro.errors import ServiceError
+from repro.synthesis.lowering import LoweredProgram
+from repro.topology.topology import MachineTopology
+
+__all__ = ["ParallelEvaluator", "default_worker_count"]
+
+_WORKER_SIMULATOR: Optional[ProgramSimulator] = None
+
+
+def default_worker_count() -> int:
+    """The evaluator's default pool size: one worker per available CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _init_worker(topology: MachineTopology, cost_model: CostModel) -> None:
+    global _WORKER_SIMULATOR
+    _WORKER_SIMULATOR = ProgramSimulator(topology, cost_model)
+
+
+def _simulate_task(
+    task: Tuple[int, LoweredProgram, float, NCCLAlgorithm]
+) -> Tuple[int, float]:
+    index, program, bytes_per_device, algorithm = task
+    assert _WORKER_SIMULATOR is not None, "worker pool was not initialized"
+    result = _WORKER_SIMULATOR.simulate(program, bytes_per_device, algorithm)
+    return index, result.total_seconds
+
+
+class ParallelEvaluator:
+    """Reusable process-pool evaluator bound to one topology and cost model."""
+
+    def __init__(
+        self,
+        topology: MachineTopology,
+        cost_model: Optional[CostModel] = None,
+        n_workers: Optional[int] = None,
+    ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ServiceError("n_workers must be >= 1")
+        self.topology = topology
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.n_workers = n_workers if n_workers is not None else default_worker_count()
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        programs: Sequence[LoweredProgram],
+        bytes_per_device: float,
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+    ) -> List[float]:
+        """Predicted seconds for each program, in input order."""
+        predicted = [0.0] * len(programs)
+        tasks = [
+            (i, program, bytes_per_device, algorithm)
+            for i, program in enumerate(programs)
+            if program.num_steps > 0
+        ]
+        if self.n_workers <= 1 or len(tasks) <= 1:
+            simulator = ProgramSimulator(self.topology, self.cost_model)
+            for i, program, payload, algo in tasks:
+                predicted[i] = simulator.simulate(program, payload, algo).total_seconds
+            return predicted
+
+        executor = self._ensure_executor()
+        chunksize = max(1, len(tasks) // (self.n_workers * 4))
+        for index, seconds in executor.map(_simulate_task, tasks, chunksize=chunksize):
+            predicted[index] = seconds
+        return predicted
+
+    # ------------------------------------------------------------------ #
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_init_worker,
+                initargs=(self.topology, self.cost_model),
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the evaluator can be reused)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -59,12 +59,17 @@ class ProgramCandidate:
 
 @dataclass
 class PlacementCandidate:
-    """A parallelism matrix together with every strategy synthesized for it."""
+    """A parallelism matrix together with every strategy synthesized for it.
+
+    ``synthesis`` is ``None`` for candidates reconstructed from a cached plan
+    (:mod:`repro.service.cache`): the search statistics are not persisted
+    because the programs themselves are.
+    """
 
     matrix: ParallelismMatrix
     placement: DevicePlacement
     hierarchy: SynthesisHierarchy
-    synthesis: SynthesisResult
+    synthesis: Optional[SynthesisResult] = None
     programs: List[ProgramCandidate] = field(default_factory=list)
     synthesis_seconds: float = 0.0
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.api import P2
@@ -71,6 +73,45 @@ class TestOptimize:
     def test_invalid_payload_rejected(self, tool):
         with pytest.raises(EvaluationError):
             tool.optimize(ParallelismAxes.of(32), ReductionRequest.over(0), 0)
+
+
+class TestSpeedupOverDefault:
+    """Regression tests: a zero-cost best strategy must not report 1.0x."""
+
+    def test_zero_cost_best_vs_costly_default_is_infinite(self, plan):
+        from repro.api import OptimizationPlan
+
+        free = replace(plan.best, predicted_seconds=0.0, is_default_all_reduce=False)
+        default = plan.default_all_reduce()
+        assert default.predicted_seconds > 0
+        degenerate = OptimizationPlan(
+            axes=plan.axes,
+            request=plan.request,
+            bytes_per_device=plan.bytes_per_device,
+            algorithm=plan.algorithm,
+            strategies=[free, default],
+            candidates=plan.candidates,
+        )
+        assert degenerate.speedup_over_default() == float("inf")
+
+    def test_zero_cost_best_and_zero_cost_default_is_one(self, plan):
+        from repro.api import OptimizationPlan
+
+        free = replace(plan.best, predicted_seconds=0.0, is_default_all_reduce=False)
+        free_default = replace(plan.default_all_reduce(), predicted_seconds=0.0)
+        degenerate = OptimizationPlan(
+            axes=plan.axes,
+            request=plan.request,
+            bytes_per_device=plan.bytes_per_device,
+            algorithm=plan.algorithm,
+            strategies=[free, free_default],
+            candidates=plan.candidates,
+        )
+        assert degenerate.speedup_over_default() == 1.0
+
+    def test_normal_plan_unchanged(self, plan):
+        assert plan.speedup_over_default() >= 1.0
+        assert plan.speedup_over_default() != float("inf")
 
 
 class TestSimulateMeasureVerify:

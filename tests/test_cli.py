@@ -25,6 +25,28 @@ class TestParser:
         assert args.payload_scale == pytest.approx(0.01)
         assert args.quick
 
+    def test_optimize_accepts_search_limits(self):
+        args = build_parser().parse_args(
+            ["optimize", "--axes", "8", "4", "--max-matrices", "2",
+             "--max-program-size", "3", "--workers", "2"]
+        )
+        assert args.max_matrices == 2
+        assert args.max_program_size == 3
+        assert args.workers == 2
+
+    def test_serve_batch_arguments(self):
+        args = build_parser().parse_args(
+            ["serve-batch", "--nodes", "2", "--query", "8,4:0:1048576",
+             "--cache-dir", "/tmp/x", "--workers", "2"]
+        )
+        assert args.command == "serve-batch"
+        assert args.query == ["8,4:0:1048576"]
+        assert args.cache_dir == "/tmp/x"
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
 
 class TestMain:
     def test_optimize_command(self, capsys):
@@ -97,6 +119,104 @@ class TestMain:
         assert "Sweep summary" in captured.out
         assert target.exists()
         assert len(load_results(target)) > 0
+
+    def test_optimize_with_search_limits(self, capsys):
+        exit_code = main(
+            [
+                "optimize",
+                "--system", "a100",
+                "--nodes", "2",
+                "--axes", "8", "4",
+                "--reduce", "0",
+                "--bytes", str(32 << 20),
+                "--max-matrices", "1",
+                "--max-program-size", "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        # --max-matrices 1 keeps only the first placement.
+        assert "of 3 strategies" in captured.out
+
+    def test_serve_batch_cold_then_warm(self, capsys, tmp_path):
+        argv = [
+            "serve-batch",
+            "--system", "a100",
+            "--nodes", "2",
+            "--max-program-size", "3",
+            "--query", f"8,4:0:{32 << 20}",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "[cold]" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "[disk]" in second
+
+    def test_serve_batch_queries_file(self, capsys, tmp_path):
+        import json
+
+        queries = tmp_path / "queries.json"
+        queries.write_text(json.dumps(
+            [{"axes": [8, 4], "reduce": [0], "bytes": 32 << 20},
+             {"axes": [8, 4], "reduce": [0], "bytes": 32 << 20}]
+        ))
+        exit_code = main(
+            ["serve-batch", "--nodes", "2", "--max-program-size", "3",
+             "--queries-file", str(queries)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[cold]" in captured.out
+        assert "[memory]" in captured.out  # in-batch duplicate deduplicated
+
+    def test_serve_batch_requires_queries(self):
+        with pytest.raises(SystemExit):
+            main(["serve-batch", "--nodes", "2"])
+
+    def test_serve_batch_rejects_malformed_query(self):
+        with pytest.raises(SystemExit):
+            main(["serve-batch", "--query", "oops"])
+
+    def test_serve_batch_rejects_bad_query_values(self):
+        with pytest.raises(SystemExit):
+            main(["serve-batch", "--query", "8,4:0:123:nccl"])  # bad algorithm
+        with pytest.raises(SystemExit):
+            main(["serve-batch", "--query", "8x4:0:123"])  # bad axes token
+
+    def test_serve_batch_rejects_malformed_queries_file_entry(self, tmp_path):
+        import json
+
+        queries = tmp_path / "queries.json"
+        queries.write_text(json.dumps([{"reduce": [0]}]))  # missing "axes"
+        with pytest.raises(SystemExit):
+            main(["serve-batch", "--queries-file", str(queries)])
+
+    def test_serve_batch_honours_max_matrices(self, capsys):
+        exit_code = main(
+            ["serve-batch", "--nodes", "2", "--max-program-size", "3",
+             "--max-matrices", "1", "--query", f"8,4:0:{32 << 20}"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "over 1 placements" in captured.out
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        main(
+            ["serve-batch", "--nodes", "2", "--max-program-size", "3",
+             "--query", f"8,4:0:{32 << 20}", "--cache-dir", str(tmp_path)]
+        )
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "1 entries" in stats_out
+
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        clear_out = capsys.readouterr().out
+        assert "removed 1" in clear_out
+        assert list(tmp_path.glob("*.json")) == []
 
     def test_emit_command(self, capsys):
         exit_code = main(

@@ -1,0 +1,217 @@
+"""Tests for plan serialization and the two-tier plan cache."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import P2
+from repro.errors import ServiceError
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.service.cache import (
+    PLAN_FORMAT_VERSION,
+    PlanCache,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.topology.gcp import a100_system
+
+MB = 1 << 20
+
+
+def _ranking(plan):
+    return [
+        (s.matrix.describe(), s.mnemonic, s.predicted_seconds, s.is_default_all_reduce)
+        for s in plan.strategies
+    ]
+
+
+@pytest.fixture(scope="module")
+def plan():
+    p2 = P2(a100_system(num_nodes=2), max_program_size=3)
+    return p2.optimize(
+        ParallelismAxes.of(8, 4), ReductionRequest.over(0), bytes_per_device=64 * MB
+    )
+
+
+class TestPlanRoundTrip:
+    def test_ranking_survives_roundtrip(self, plan):
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert _ranking(restored) == _ranking(plan)
+
+    def test_programs_survive_roundtrip(self, plan):
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert [s.program.signature() for s in restored.strategies] == [
+            s.program.signature() for s in plan.strategies
+        ]
+
+    def test_query_fields_survive_roundtrip(self, plan):
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.axes == plan.axes
+        assert restored.request.axes == plan.request.axes
+        assert restored.bytes_per_device == plan.bytes_per_device
+        assert restored.algorithm == plan.algorithm
+
+    def test_restored_plan_supports_the_plan_api(self, plan):
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.best.mnemonic == plan.best.mnemonic
+        assert restored.speedup_over_default() == plan.speedup_over_default()
+        assert restored.default_all_reduce().is_default_all_reduce
+        assert len(restored.candidates) == len(plan.candidates)
+
+    def test_restored_strategies_verify_numerically(self, plan):
+        p2 = P2(a100_system(num_nodes=2), max_program_size=3)
+        restored = plan_from_dict(plan_to_dict(plan))
+        report = p2.verify(restored.best, ReductionRequest.over(0))
+        assert report.ok
+
+    def test_json_safe(self, plan):
+        encoded = json.dumps(plan_to_dict(plan))
+        assert _ranking(plan_from_dict(json.loads(encoded))) == _ranking(plan)
+
+    def test_version_gate(self, plan):
+        data = plan_to_dict(plan)
+        data["format_version"] = PLAN_FORMAT_VERSION + 1
+        with pytest.raises(ServiceError):
+            plan_from_dict(data)
+
+
+class TestMemoryTier:
+    def test_get_miss_then_hit(self, plan):
+        cache = PlanCache()
+        assert cache.get("abc") is None
+        cache.put("abc", plan_to_dict(plan))
+        assert cache.lookup("abc") == (plan_to_dict(plan), "memory")
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        cache.get("a")  # refresh "a": now "b" is least recently used
+        cache.put("c", {"n": 3})
+        assert cache.get("a") is not None
+        assert cache.get("b") is None  # evicted
+        assert cache.get("c") is not None
+        assert cache.stats.evictions == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ServiceError):
+            PlanCache(capacity=0)
+
+
+class TestDiskTier:
+    def test_persists_across_cache_instances(self, plan, tmp_path):
+        first = PlanCache(directory=tmp_path)
+        first.put("deadbeef", plan_to_dict(plan))
+
+        second = PlanCache(directory=tmp_path)
+        loaded, tier = second.lookup("deadbeef")
+        assert tier == "disk"
+        assert _ranking(plan_from_dict(loaded)) == _ranking(plan)
+        # A second lookup is served from memory (disk hit promoted).
+        assert second.lookup("deadbeef")[1] == "memory"
+
+    def test_plan_written_by_a_previous_process_loads(self, tmp_path):
+        """End-to-end restart test: one process writes the cache, another reads it."""
+        script = (
+            "import sys\n"
+            "from repro.service import PlanCache, PlanningService, PlanningRequest\n"
+            "from repro.topology.gcp import a100_system\n"
+            "from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest\n"
+            "service = PlanningService(a100_system(num_nodes=1), max_program_size=2,\n"
+            "                          cache=PlanCache(sys.argv[1]))\n"
+            "response = service.submit(PlanningRequest(\n"
+            "    ParallelismAxes.of(4, 4), ReductionRequest.over(0), 1 << 20))\n"
+            "print(response.stats.fingerprint)\n"
+            "print(response.plan.best.predicted_seconds)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ["src", env.get("PYTHONPATH", "")] if p
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path)],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        fingerprint, best_seconds = output.stdout.split()
+
+        from repro.service import PlanningRequest, PlanningService
+
+        service = PlanningService(
+            a100_system(num_nodes=1), max_program_size=2, cache=PlanCache(tmp_path)
+        )
+        response = service.submit(
+            PlanningRequest(ParallelismAxes.of(4, 4), ReductionRequest.over(0), 1 << 20)
+        )
+        assert response.stats.fingerprint == fingerprint
+        assert response.stats.cache_tier == "disk"
+        assert repr(response.plan.best.predicted_seconds) == best_seconds
+
+    def test_corrupted_entry_is_a_miss_and_removed(self, plan, tmp_path):
+        cache = PlanCache(directory=tmp_path)
+        cache.put("feedface", plan_to_dict(plan))
+        path = tmp_path / "feedface.json"
+        path.write_text("{ not json at all")
+
+        fresh = PlanCache(directory=tmp_path)
+        assert fresh.get("feedface") is None
+        assert fresh.stats.corrupt_entries == 1
+        assert not path.exists()
+
+    def test_wrong_fingerprint_in_envelope_is_corrupt(self, plan, tmp_path):
+        cache = PlanCache(directory=tmp_path)
+        cache.put("aaaa", plan_to_dict(plan))
+        (tmp_path / "aaaa.json").rename(tmp_path / "bbbb.json")
+
+        fresh = PlanCache(directory=tmp_path)
+        assert fresh.get("bbbb") is None
+        assert fresh.stats.corrupt_entries == 1
+
+    def test_stale_format_version_is_corrupt(self, plan, tmp_path):
+        cache = PlanCache(directory=tmp_path)
+        cache.put("cafe", plan_to_dict(plan))
+        path = tmp_path / "cafe.json"
+        envelope = json.loads(path.read_text())
+        envelope["format_version"] = PLAN_FORMAT_VERSION + 1
+        path.write_text(json.dumps(envelope))
+
+        fresh = PlanCache(directory=tmp_path)
+        assert fresh.get("cafe") is None
+        assert fresh.stats.corrupt_entries == 1
+
+    def test_clear_empties_both_tiers(self, plan, tmp_path):
+        cache = PlanCache(directory=tmp_path)
+        cache.put("one", plan_to_dict(plan))
+        cache.put("two", plan_to_dict(plan))
+        removed = cache.clear()
+        # Each plan lives in both tiers but counts once.
+        assert removed == 2
+        assert cache.num_memory_entries == 0
+        assert cache.disk_fingerprints() == []
+
+    def test_discard_drops_one_entry_from_both_tiers(self, plan, tmp_path):
+        cache = PlanCache(directory=tmp_path)
+        cache.put("one", plan_to_dict(plan))
+        cache.put("two", plan_to_dict(plan))
+        cache.discard("one", corrupt=True)
+        assert cache.get("one") is None
+        assert cache.get("two") is not None
+        assert cache.disk_fingerprints() == ["two"]
+        assert cache.stats.corrupt_entries == 1
+
+    def test_describe_mentions_both_tiers(self, plan, tmp_path):
+        cache = PlanCache(directory=tmp_path)
+        cache.put("one", plan_to_dict(plan))
+        text = cache.describe()
+        assert "memory 1" in text
+        assert "disk 1" in text
