@@ -121,6 +121,56 @@ def test_cold_vs_warm_cache_throughput(benchmark, save_artifact, tmp_path_factor
 
 
 @pytest.mark.benchmark(group="service-throughput")
+def test_plan_many_batch_dedup_throughput(benchmark, save_artifact, tmp_path_factory):
+    """Batch PlanQuery throughput: duplicates inside one batch ride the cache."""
+    from repro.query import PlanQuery
+
+    config = table4_configs(payload_scale=0.01)[0]
+    queries = [
+        PlanQuery(
+            axes=config.parallelism(),
+            request=config.request(),
+            bytes_per_device=config.bytes_per_device,
+            algorithm=config.algorithm,
+            max_program_size=config.max_program_size,
+        )
+    ] * 8  # one cold computation, seven memory hits
+
+    def one_batch():
+        service = PlanningService(
+            config.topology(),
+            max_program_size=config.max_program_size,
+            cache=PlanCache(directory=tmp_path_factory.mktemp("plan-batch")),
+        )
+        start = time.perf_counter()
+        outcomes = service.plan_many(queries)
+        seconds = time.perf_counter() - start
+        return outcomes, seconds
+
+    outcomes, seconds = benchmark.pedantic(one_batch, rounds=1, iterations=1)
+    tiers = [outcome.cache_tier for outcome in outcomes]
+    assert tiers == [None] + ["memory"] * 7
+    # Every duplicate reproduces the cold ranking exactly.
+    baseline = _ranking(outcomes[0].plan)
+    assert all(_ranking(outcome.plan) == baseline for outcome in outcomes[1:])
+
+    cold_seconds = outcomes[0].total_seconds
+    amortized = (seconds - cold_seconds) / 7
+    text = format_table(
+        ["path", "seconds"],
+        [
+            ["cold (first of batch)", cold_seconds],
+            ["amortized duplicate", amortized],
+            ["whole 8-query batch", seconds],
+        ],
+        title="plan_many: one cold computation amortized over an 8-query batch",
+        float_fmt="{:.4f}",
+    )
+    save_artifact("service_plan_many", text)
+    assert amortized < cold_seconds, "duplicates should be far cheaper than cold"
+
+
+@pytest.mark.benchmark(group="service-throughput")
 def test_parallel_evaluation_matches_serial(benchmark, save_artifact):
     config = table4_configs(payload_scale=0.01)[0]  # T4-F: A100 2 nodes, [8 4]
     topology = config.topology()

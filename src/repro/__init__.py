@@ -52,6 +52,9 @@ __all__ = [
     "synthesize_all",
     "P2",
     "PlanningService",
+    "PlanQuery",
+    "PlanOutcome",
+    "Planner",
 ]
 
 
@@ -67,4 +70,8 @@ def __getattr__(name: str):
         from repro.service.engine import PlanningService
 
         return PlanningService
+    if name in ("PlanQuery", "PlanOutcome", "Planner"):
+        import repro.query
+
+        return getattr(repro.query, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -22,20 +22,28 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.allreduce import default_all_reduce
 from repro.cost.model import CostModel
 from repro.cost.nccl import NCCLAlgorithm
 from repro.cost.simulator import ProgramSimulator, SimulationResult
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, ServiceError
+from repro.hierarchy.levels import SystemHierarchy
 from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
 from repro.hierarchy.matrix import ParallelismMatrix
+from repro.hierarchy.placement import DevicePlacement
+from repro.query import PlanOutcome, PlanQuery
 from repro.runtime.events import MeasurementResult, TestbedSimulator
 from repro.runtime.noise import NoiseModel
 from repro.runtime.verification import VerificationReport, verify_against_placement
+from repro.synthesis.hierarchy import build_synthesis_hierarchy
 from repro.synthesis.lowering import LoweredProgram
-from repro.synthesis.pipeline import PlacementCandidate, synthesize_all
+from repro.synthesis.pipeline import (
+    PlacementCandidate,
+    ProgramCandidate,
+    synthesize_all,
+)
 from repro.topology.topology import MachineTopology
 from repro.utils.tabulate import format_table
 
@@ -43,6 +51,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard; see repro.service
     from repro.service.engine import PlanningService
 
 __all__ = [
+    "PLAN_FORMAT_VERSION",
     "RankedStrategy",
     "OptimizationPlan",
     "P2",
@@ -53,10 +62,17 @@ __all__ = [
     "compute_plan",
 ]
 
+PLAN_FORMAT_VERSION = 1
+
 
 @dataclass(frozen=True)
 class RankedStrategy:
-    """One (parallelism matrix, lowered program) candidate with its predicted time."""
+    """One (parallelism matrix, lowered program) candidate with its predicted time.
+
+    ``bytes_per_device`` records the payload of the originating query (the
+    prediction is only meaningful for that payload); it is ``None`` only for
+    strategies constructed outside the planning pipeline.
+    """
 
     matrix: ParallelismMatrix
     program: LoweredProgram
@@ -64,12 +80,49 @@ class RankedStrategy:
     predicted_seconds: float
     is_default_all_reduce: bool
     candidate: PlacementCandidate
+    bytes_per_device: Optional[int] = None
 
     def describe(self) -> str:
         tag = " [default]" if self.is_default_all_reduce else ""
         return (
             f"{self.matrix.describe()} / {self.mnemonic}{tag}: "
             f"{self.predicted_seconds:.4f}s predicted"
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (matrix + program + prediction + payload)."""
+        return {
+            "matrix": [list(row) for row in self.matrix.entries],
+            "mnemonic": self.mnemonic,
+            "predicted_seconds": self.predicted_seconds,
+            "is_default_all_reduce": self.is_default_all_reduce,
+            "bytes_per_device": self.bytes_per_device,
+            "program": self.program.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Dict,
+        candidate: PlacementCandidate,
+        bytes_per_device: Optional[int] = None,
+    ) -> "RankedStrategy":
+        """Rebuild a strategy from :meth:`to_dict` output (``candidate`` is
+        not mutated; it only supplies the placement context).
+
+        ``bytes_per_device`` is a fallback for serialized forms predating the
+        per-strategy payload field.
+        """
+        hierarchy = candidate.matrix.hierarchy
+        program = LoweredProgram.from_dict(data["program"], hierarchy.num_devices)
+        return cls(
+            matrix=candidate.matrix,
+            program=program,
+            mnemonic=data["mnemonic"],
+            predicted_seconds=data["predicted_seconds"],
+            is_default_all_reduce=data["is_default_all_reduce"],
+            candidate=candidate,
+            bytes_per_device=data.get("bytes_per_device") or bytes_per_device,
         )
 
 
@@ -133,6 +186,116 @@ class OptimizationPlan:
                 f"({self.algorithm}, {self.bytes_per_device / 1e6:.0f} MB per device)"
             ),
             float_fmt="{:.4f}",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization — any caller can persist and restore a ranked plan; the
+    # service's plan cache (repro.service.cache) stores exactly this form.
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """Serialize the plan to a JSON-compatible dict (``format_version`` gated)."""
+        hierarchy = self.candidates[0].matrix.hierarchy if self.candidates else None
+        if hierarchy is None and self.strategies:
+            hierarchy = self.strategies[0].matrix.hierarchy
+        if hierarchy is None:
+            raise ServiceError("cannot serialize an empty optimization plan")
+        return {
+            "format_version": PLAN_FORMAT_VERSION,
+            "hierarchy": {
+                "names": list(hierarchy.names),
+                "cardinalities": list(hierarchy.cardinalities),
+            },
+            "axes": {"sizes": list(self.axes.sizes), "names": list(self.axes.names)},
+            "request": {"axes": list(self.request.axes)},
+            "bytes_per_device": self.bytes_per_device,
+            "algorithm": self.algorithm.value,
+            "candidates": [
+                {
+                    "matrix": [list(row) for row in candidate.matrix.entries],
+                    "synthesis_seconds": candidate.synthesis_seconds,
+                }
+                for candidate in self.candidates
+            ],
+            "strategies": [strategy.to_dict() for strategy in self.strategies],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "OptimizationPlan":
+        """Reconstruct a plan from :meth:`to_dict` output.
+
+        The ranking — strategy order, matrices, mnemonics, lowered programs
+        and predicted times — is reproduced exactly.  Candidates are rebuilt
+        with a fresh synthesis hierarchy (a cheap pure function of matrix +
+        request) and ``synthesis=None``; their program lists mirror the
+        ranked strategies.
+        """
+        version = data.get("format_version")
+        if version != PLAN_FORMAT_VERSION:
+            raise ServiceError(
+                f"unsupported plan format version {version!r} (expected {PLAN_FORMAT_VERSION})"
+            )
+        hierarchy = SystemHierarchy.from_cardinalities(
+            data["hierarchy"]["cardinalities"], tuple(data["hierarchy"]["names"])
+        )
+        axes = ParallelismAxes(
+            tuple(data["axes"]["sizes"]), tuple(data["axes"]["names"])
+        )
+        request = ReductionRequest(tuple(data["request"]["axes"]))
+        algorithm = NCCLAlgorithm(data["algorithm"])
+        bytes_per_device = data["bytes_per_device"]
+
+        candidates: List[PlacementCandidate] = []
+        by_entries: Dict[Tuple[Tuple[int, ...], ...], PlacementCandidate] = {}
+
+        def _candidate_for(
+            entries: Tuple[Tuple[int, ...], ...], synthesis_seconds: float = 0.0
+        ) -> PlacementCandidate:
+            if entries not in by_entries:
+                matrix = ParallelismMatrix(hierarchy, axes, entries)
+                candidate = PlacementCandidate(
+                    matrix=matrix,
+                    placement=DevicePlacement(matrix),
+                    hierarchy=build_synthesis_hierarchy(matrix, request),
+                    synthesis=None,
+                    programs=[],
+                    synthesis_seconds=synthesis_seconds,
+                )
+                by_entries[entries] = candidate
+                candidates.append(candidate)
+            return by_entries[entries]
+
+        for entry in data["candidates"]:
+            matrix_entries = tuple(tuple(int(x) for x in row) for row in entry["matrix"])
+            _candidate_for(matrix_entries, entry["synthesis_seconds"])
+
+        strategies: List[RankedStrategy] = []
+        for entry in data["strategies"]:
+            candidate = _candidate_for(
+                tuple(tuple(int(x) for x in row) for row in entry["matrix"])
+            )
+            strategy = RankedStrategy.from_dict(
+                entry, candidate, bytes_per_device=bytes_per_device
+            )
+            # The candidates here are freshly built above, so mirroring the
+            # ranked strategies into their program lists cannot accumulate
+            # duplicates across calls.
+            candidate.programs.append(
+                ProgramCandidate(
+                    lowered=strategy.program,
+                    mnemonic=strategy.mnemonic,
+                    size=strategy.program.num_steps,
+                    is_default_all_reduce=strategy.is_default_all_reduce,
+                )
+            )
+            strategies.append(strategy)
+
+        return cls(
+            axes=axes,
+            request=request,
+            bytes_per_device=bytes_per_device,
+            algorithm=algorithm,
+            strategies=strategies,
+            candidates=candidates,
         )
 
 
@@ -235,16 +398,22 @@ def compute_plan(
         request=request,
         bytes_per_device=bytes_per_device,
         algorithm=algorithm,
-        strategies=rank_entries(entries, predicted),
+        strategies=rank_entries(entries, predicted, bytes_per_device=bytes_per_device),
         candidates=candidates,
     )
     return plan, synthesis_seconds, evaluation_seconds
 
 
 def rank_entries(
-    entries: Sequence[StrategyEntry], predicted: Sequence[float]
+    entries: Sequence[StrategyEntry],
+    predicted: Sequence[float],
+    bytes_per_device: Optional[int] = None,
 ) -> List[RankedStrategy]:
-    """Pair entries with their predicted times and stable-sort into a ranking."""
+    """Pair entries with their predicted times and stable-sort into a ranking.
+
+    ``bytes_per_device`` stamps each strategy with the payload the times were
+    predicted for, so downstream tools (:meth:`P2.simulate`) never guess it.
+    """
     if len(entries) != len(predicted):
         raise EvaluationError(
             f"{len(predicted)} predictions for {len(entries)} strategy entries"
@@ -257,6 +426,7 @@ def rank_entries(
             predicted_seconds=seconds,
             is_default_all_reduce=entry.is_default_all_reduce,
             candidate=entry.candidate,
+            bytes_per_device=bytes_per_device,
         )
         for entry, seconds in zip(entries, predicted)
     ]
@@ -266,12 +436,126 @@ def rank_entries(
 
 @dataclass
 class P2:
-    """The end-to-end tool: placement synthesis + strategy synthesis + ranking."""
+    """The end-to-end tool: placement synthesis + strategy synthesis + ranking.
+
+    :meth:`plan` is the primary entry point — it speaks the
+    :class:`~repro.query.PlanQuery` / :class:`~repro.query.PlanOutcome`
+    object model shared with the planning service (both satisfy the
+    :class:`~repro.query.Planner` protocol and produce identical rankings
+    for the same query).  :meth:`optimize` is the historical loose-argument
+    signature, kept as a thin shim over :meth:`plan`.
+    """
 
     topology: MachineTopology
     cost_model: CostModel = field(default_factory=CostModel)
     max_program_size: int = 5
     noise_seed: int = 0
+
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        query: PlanQuery,
+        *,
+        service: Optional["PlanningService"] = None,
+        n_workers: Optional[int] = None,
+        evaluator=None,
+    ) -> PlanOutcome:
+        """Answer one :class:`PlanQuery` with a :class:`PlanOutcome`.
+
+        Parameters
+        ----------
+        service:
+            Opt-in: route the query through a
+            :class:`~repro.service.engine.PlanningService` (plan caching,
+            request stats, optional worker pool).  The service must be bound
+            to this tool's topology and cost model; the query's own search
+            limits (``max_program_size``, ``max_matrices``) are honoured by
+            the service, so no agreement on them is required.
+        n_workers:
+            Opt-in: fan candidate simulation out over a process pool of this
+            size (``service`` takes precedence; the service manages its own
+            pool).  The ranking is identical to the serial path.
+        evaluator:
+            Opt-in: an existing evaluator (e.g. a shared
+            :class:`~repro.service.parallel.ParallelEvaluator`) to price the
+            candidates with; takes precedence over ``n_workers``.
+        """
+        if service is not None:
+            if not service.compatible_with(self.topology):
+                raise EvaluationError(
+                    f"planning service is bound to topology "
+                    f"{service.topology.name!r}, not this tool's {self.topology.name!r}"
+                )
+            if service.cost_model != self.cost_model:
+                raise EvaluationError(
+                    "planning service uses a different cost model than this "
+                    "tool; it would return plans ranked under different "
+                    "assumptions"
+                )
+            # No max_program_size check: the service honours the query's own
+            # search limits, so both routes compute the same plan.
+            return service.plan(query)
+
+        from repro.service.fingerprint import plan_query_fingerprint
+
+        start = time.perf_counter()
+        if evaluator is None and n_workers is not None and n_workers > 1:
+            from repro.service.parallel import ParallelEvaluator
+
+            with ParallelEvaluator(self.topology, self.cost_model, n_workers) as pool:
+                plan, synthesis_seconds, evaluation_seconds = compute_plan(
+                    self.topology,
+                    self.cost_model,
+                    query.axes,
+                    query.request,
+                    query.bytes_per_device,
+                    query.algorithm,
+                    max_program_size=query.max_program_size,
+                    max_matrices=query.max_matrices,
+                    evaluator=pool,
+                )
+        else:
+            plan, synthesis_seconds, evaluation_seconds = compute_plan(
+                self.topology,
+                self.cost_model,
+                query.axes,
+                query.request,
+                query.bytes_per_device,
+                query.algorithm,
+                max_program_size=query.max_program_size,
+                max_matrices=query.max_matrices,
+                evaluator=evaluator,
+            )
+        if evaluator is not None:
+            workers = getattr(evaluator, "n_workers", 1)
+        elif n_workers is not None and n_workers > 1:
+            workers = n_workers
+        else:
+            workers = 1
+        return PlanOutcome(
+            query=query,
+            plan=plan,
+            synthesis_seconds=synthesis_seconds,
+            evaluation_seconds=evaluation_seconds,
+            total_seconds=time.perf_counter() - start,
+            fingerprint=plan_query_fingerprint(self.topology, query, self.cost_model),
+            cache_tier=None,
+            n_workers=workers,
+        )
+
+    def plan_many(
+        self,
+        queries: Sequence[PlanQuery],
+        *,
+        n_workers: Optional[int] = None,
+    ) -> List[PlanOutcome]:
+        """Answer a batch of queries, in order (one shared pool when parallel)."""
+        if n_workers is not None and n_workers > 1:
+            from repro.service.parallel import ParallelEvaluator
+
+            with ParallelEvaluator(self.topology, self.cost_model, n_workers) as pool:
+                return [self.plan(query, evaluator=pool) for query in queries]
+        return [self.plan(query) for query in queries]
 
     # ------------------------------------------------------------------ #
     def optimize(
@@ -286,69 +570,28 @@ class P2:
     ) -> OptimizationPlan:
         """Synthesize and rank every (placement, strategy) candidate.
 
-        Parameters
-        ----------
-        service:
-            Opt-in: route the query through a
-            :class:`~repro.service.engine.PlanningService` (plan caching,
-            request stats, optional worker pool).  The service must be bound
-            to this tool's topology.
-        n_workers:
-            Opt-in: fan candidate simulation out over a process pool of this
-            size (``service`` takes precedence; the service manages its own
-            pool).  The ranking is identical to the serial path.
+        Pre-:class:`PlanQuery` signature, kept for backward compatibility:
+        it builds a query from the loose arguments (with this tool's
+        ``max_program_size``) and delegates to :meth:`plan`, returning just
+        the plan.  Use :meth:`plan` to also get timings and provenance.
         """
-        if bytes_per_device <= 0:
-            raise EvaluationError("bytes_per_device must be positive")
-        if service is not None:
-            if not service.compatible_with(self.topology):
-                raise EvaluationError(
-                    f"planning service is bound to topology "
-                    f"{service.topology.name!r}, not this tool's {self.topology.name!r}"
-                )
-            if (
-                service.cost_model != self.cost_model
-                or service.max_program_size != self.max_program_size
-            ):
-                raise EvaluationError(
-                    "planning service uses a different cost model or "
-                    "max_program_size than this tool; it would return plans "
-                    "ranked under different assumptions"
-                )
-            return service.optimize(
-                axes,
-                request,
-                bytes_per_device,
-                algorithm=algorithm,
-                max_matrices=max_matrices,
+        if service is not None and service.max_program_size != self.max_program_size:
+            # Historical contract of this signature: the tool and the service
+            # must agree on the search limit.  (The query-based plan() route
+            # is laxer — the service honours each query's own limits.)
+            raise EvaluationError(
+                "planning service uses a different max_program_size than this "
+                "tool; it would return plans ranked under different assumptions"
             )
-        if n_workers is not None and n_workers > 1:
-            from repro.service.parallel import ParallelEvaluator
-
-            with ParallelEvaluator(self.topology, self.cost_model, n_workers) as pool:
-                plan, _, _ = compute_plan(
-                    self.topology,
-                    self.cost_model,
-                    axes,
-                    request,
-                    bytes_per_device,
-                    algorithm,
-                    max_program_size=self.max_program_size,
-                    max_matrices=max_matrices,
-                    evaluator=pool,
-                )
-        else:
-            plan, _, _ = compute_plan(
-                self.topology,
-                self.cost_model,
-                axes,
-                request,
-                bytes_per_device,
-                algorithm,
-                max_program_size=self.max_program_size,
-                max_matrices=max_matrices,
-            )
-        return plan
+        query = PlanQuery(
+            axes=axes,
+            request=request,
+            bytes_per_device=bytes_per_device,
+            algorithm=algorithm,
+            max_matrices=max_matrices,
+            max_program_size=self.max_program_size,
+        )
+        return self.plan(query, service=service, n_workers=n_workers).plan
 
     # ------------------------------------------------------------------ #
     def simulate(
@@ -357,9 +600,22 @@ class P2:
         bytes_per_device: Optional[int] = None,
         algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
     ) -> SimulationResult:
-        """Detailed per-step prediction for one strategy."""
+        """Detailed per-step prediction for one strategy.
+
+        When ``bytes_per_device`` is omitted the payload recorded on the
+        strategy (from its originating query) is used; a strategy that never
+        went through the planning pipeline carries no payload, in which case
+        the payload must be passed explicitly.
+        """
+        payload = (
+            bytes_per_device if bytes_per_device is not None else strategy.bytes_per_device
+        )
+        if payload is None:
+            raise EvaluationError(
+                "this strategy records no originating payload; pass "
+                "bytes_per_device explicitly to simulate it"
+            )
         simulator = ProgramSimulator(self.topology, self.cost_model)
-        payload = bytes_per_device if bytes_per_device is not None else 1 << 20
         return simulator.simulate(strategy.program, payload, algorithm)
 
     def measure(

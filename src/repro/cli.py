@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 
 from repro.api import P2
 from repro.cost.nccl import NCCLAlgorithm
+from repro.errors import ReproError
 from repro.evaluation.config import (
     SystemKind,
     appendix_configs,
@@ -83,6 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--top", type=int, default=10)
     p_opt.add_argument("--workers", type=int, default=None,
                        help="evaluate candidates on a process pool of this size")
+    p_opt.add_argument("--json", action="store_true",
+                       help="emit the outcome (query + plan + provenance) as one JSON object")
 
     p_batch = sub.add_parser(
         "serve-batch",
@@ -101,8 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument(
         "--queries-file", type=str, default=None,
-        help='JSON file with a list of {"axes": [8,4], "reduce": [0], '
-             '"bytes": 67108864, "algorithm": "ring"} objects',
+        help="JSON file with a list of PlanQuery dicts, or JSONL with one "
+             "PlanQuery dict per line; the legacy "
+             '{"axes": [8,4], "reduce": [0], "bytes": 67108864} shape is '
+             "also accepted",
     )
     p_batch.add_argument("--cache-dir", type=str, default=None,
                          help="persist plans here (warm-starts later runs)")
@@ -110,6 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process-pool size for cold-path evaluation")
     p_batch.add_argument("--top", type=int, default=1,
                          help="strategies to print per query")
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit one JSON object per query (JSONL) instead of tables")
 
     p_cache = sub.add_parser("cache", help="inspect or clear an on-disk plan cache")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
@@ -154,18 +161,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_optimize(args: argparse.Namespace) -> int:
+    from repro.query import PlanQuery
+
     system = SystemKind(args.system)
     topology = system.build(args.nodes)
     bytes_per_device = args.bytes or paper_payload_bytes(args.nodes)
-    p2 = P2(topology, max_program_size=args.max_program_size)
-    plan = p2.optimize(
-        ParallelismAxes(tuple(args.axes)),
-        ReductionRequest(tuple(args.reduce)),
+    query = PlanQuery(
+        axes=ParallelismAxes(tuple(args.axes)),
+        request=ReductionRequest(tuple(args.reduce)),
         bytes_per_device=bytes_per_device,
         algorithm=NCCLAlgorithm(args.algorithm),
         max_matrices=args.max_matrices,
-        n_workers=args.workers,
+        max_program_size=args.max_program_size,
     )
+    p2 = P2(topology, max_program_size=args.max_program_size)
+    outcome = p2.plan(query, n_workers=args.workers)
+    if args.json:
+        import json
+
+        print(json.dumps(outcome.to_dict(), sort_keys=True))
+        return 0
+    plan = outcome.plan
     print(plan.describe(top_k=args.top))
     print()
     print(f"best strategy: {plan.best.describe()}")
@@ -173,54 +189,66 @@ def _run_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_batch_query(spec: str, default_bytes: int, max_matrices: Optional[int]):
-    from repro.service import PlanningRequest
+def _parse_batch_query(
+    spec: str,
+    default_bytes: int,
+    max_matrices: Optional[int],
+    max_program_size: Optional[int] = None,
+):
+    from repro.query import PlanQuery
 
-    parts = spec.split(":")
-    if len(parts) not in (2, 3, 4):
-        raise SystemExit(
-            f"--query must look like AXES:REDUCE[:BYTES[:ALGO]], got {spec!r}"
-        )
     try:
-        axes = tuple(int(a) for a in parts[0].split(",") if a != "")
-        reduce_axes = tuple(int(a) for a in parts[1].split(",") if a != "")
-        payload = int(parts[2]) if len(parts) >= 3 and parts[2] else default_bytes
-        algorithm = NCCLAlgorithm(parts[3]) if len(parts) == 4 else NCCLAlgorithm.RING
-    except ValueError as error:
+        return PlanQuery.from_spec(
+            spec,
+            bytes_per_device=default_bytes,
+            max_matrices=max_matrices,
+            max_program_size=max_program_size,
+        )
+    except ReproError as error:
         raise SystemExit(f"bad --query {spec!r}: {error}")
-    return PlanningRequest(
-        axes=ParallelismAxes(axes),
-        request=ReductionRequest(reduce_axes),
-        bytes_per_device=payload,
-        algorithm=algorithm,
-        max_matrices=max_matrices,
-    )
 
 
-def _load_batch_queries(path: str, default_bytes: int, max_matrices: Optional[int]):
+def _load_batch_queries(
+    path: str,
+    default_bytes: int,
+    max_matrices: Optional[int],
+    max_program_size: Optional[int] = None,
+):
+    """Load PlanQuery dicts from a JSON list or a JSONL file (legacy shapes ok)."""
     import json
 
-    from repro.service import PlanningRequest
+    from repro.query import PlanQuery
 
     with open(path) as handle:
-        entries = json.load(handle)
+        text = handle.read()
+    try:
+        entries = json.loads(text)
+    except json.JSONDecodeError:
+        # Not one JSON document: treat as JSONL, one query object per line.
+        try:
+            entries = [
+                json.loads(line) for line in text.splitlines() if line.strip()
+            ]
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"{path}: neither a JSON list nor JSONL: {error}")
+    if isinstance(entries, dict):
+        entries = [entries]  # a single query object is a one-entry batch
     if not isinstance(entries, list):
         raise SystemExit(f"{path}: expected a JSON list of query objects")
-    requests = []
+    queries = []
     for index, entry in enumerate(entries):
         try:
-            requests.append(
-                PlanningRequest(
-                    axes=ParallelismAxes(tuple(entry["axes"])),
-                    request=ReductionRequest(tuple(entry["reduce"])),
-                    bytes_per_device=int(entry.get("bytes", default_bytes)),
-                    algorithm=NCCLAlgorithm(entry.get("algorithm", "ring")),
+            queries.append(
+                PlanQuery.from_dict(
+                    entry,
+                    bytes_per_device=default_bytes,
                     max_matrices=max_matrices,
+                    max_program_size=max_program_size,
                 )
             )
-        except (KeyError, TypeError, ValueError) as error:
+        except (ReproError, KeyError, TypeError, ValueError) as error:
             raise SystemExit(f"{path}: bad query #{index}: {error!r}")
-    return requests
+    return queries
 
 
 def _run_serve_batch(args: argparse.Namespace) -> int:
@@ -230,14 +258,21 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
     topology = system.build(args.nodes)
     default_bytes = paper_payload_bytes(args.nodes)
 
-    requests = []
+    queries = []
     if args.queries_file:
-        requests.extend(
-            _load_batch_queries(args.queries_file, default_bytes, args.max_matrices)
+        queries.extend(
+            _load_batch_queries(
+                args.queries_file, default_bytes, args.max_matrices,
+                args.max_program_size,
+            )
         )
     for spec in args.query or []:
-        requests.append(_parse_batch_query(spec, default_bytes, args.max_matrices))
-    if not requests:
+        queries.append(
+            _parse_batch_query(
+                spec, default_bytes, args.max_matrices, args.max_program_size
+            )
+        )
+    if not queries:
         raise SystemExit("serve-batch needs at least one --query or --queries-file")
 
     cache = PlanCache(directory=args.cache_dir)
@@ -247,11 +282,17 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
         cache=cache,
         n_workers=args.workers,
     ) as service:
-        responses = service.optimize_many(requests)
-        for response in responses:
-            print(f"query {response.request.describe()}")
-            print(f"  {response.stats.describe()}")
-            for strategy in response.plan.top(args.top):
+        outcomes = service.plan_many(queries)
+        if args.json:
+            import json
+
+            for outcome in outcomes:
+                print(json.dumps(outcome.to_dict(), sort_keys=True))
+            return 0
+        for outcome in outcomes:
+            print(f"query {outcome.query.describe()}")
+            print(f"  {outcome.describe()}")
+            for strategy in outcome.plan.top(args.top):
                 print(f"  {strategy.describe()}")
         print()
         print(service.describe())

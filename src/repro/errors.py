@@ -62,5 +62,9 @@ class EvaluationError(ReproError):
     """Raised by the experiment harness for malformed experiment configs."""
 
 
+class QueryError(EvaluationError):
+    """Raised for malformed planning queries (:class:`repro.query.PlanQuery`)."""
+
+
 class ServiceError(ReproError):
     """Raised by the planning service for malformed requests or cache state."""

@@ -30,6 +30,7 @@ from repro.errors import EvaluationError
 from repro.hierarchy.matrix import ParallelismMatrix, enumerate_parallelism_matrices
 from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
 from repro.hierarchy.placement import DevicePlacement
+from repro.query import Planner, PlanQuery
 from repro.synthesis.hierarchy import build_synthesis_hierarchy
 from repro.synthesis.lowering import LoweredProgram, lower_synthesized
 from repro.synthesis.synthesizer import Synthesizer
@@ -177,6 +178,111 @@ class MultiReductionPlanner:
     max_program_size: int = 3
     node_limit: int = 500_000
 
+    def queries_for(
+        self,
+        axes: ParallelismAxes,
+        reductions: Sequence[WeightedReduction],
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+        max_matrices: Optional[int] = None,
+    ) -> List[PlanQuery]:
+        """One :class:`PlanQuery` per reduction (same order as ``reductions``).
+
+        These are the exact queries :meth:`plan_with` issues — hand them to
+        :meth:`~repro.service.engine.PlanningService.plan_many` (or its
+        ``warm``-style callers) to precompute the cache a multi-reduction
+        plan will hit.
+        """
+        self._validate(axes, reductions)
+        return [
+            PlanQuery(
+                axes=axes,
+                request=reduction.request,
+                bytes_per_device=reduction.bytes_per_device,
+                algorithm=algorithm,
+                max_matrices=max_matrices,
+                max_program_size=self.max_program_size,
+            )
+            for reduction in reductions
+        ]
+
+    def plan_with(
+        self,
+        planner: Planner,
+        axes: ParallelismAxes,
+        reductions: Sequence[WeightedReduction],
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+        max_matrices: Optional[int] = None,
+    ) -> MultiReductionPlan:
+        """Like :meth:`plan`, but source per-reduction rankings from ``planner``.
+
+        ``planner`` is anything satisfying :class:`~repro.query.Planner` — a
+        bare :class:`repro.api.P2` or a caching
+        :class:`~repro.service.engine.PlanningService`, whose plan cache then
+        amortizes repeated multi-reduction planning over the same axes.  One
+        query is issued per reduction; each placement's choice is the
+        cheapest ranked strategy for its matrix in that reduction's plan.
+
+        Unlike :meth:`plan`, the search runs through the standard P²
+        pipeline, which uses its own synthesis node limit — this planner's
+        ``node_limit`` knob does not apply here.  When the planner exposes a
+        ``topology`` it must match this planner's.
+        """
+        planner_topology = getattr(planner, "topology", None)
+        if planner_topology is not None:
+            from repro.service.fingerprint import canonical_topology
+
+            if canonical_topology(planner_topology) != canonical_topology(self.topology):
+                raise EvaluationError(
+                    f"planner is bound to topology {planner_topology.name!r}, "
+                    f"not this multi-reduction planner's {self.topology.name!r}"
+                )
+        queries = self.queries_for(axes, reductions, algorithm, max_matrices)
+        outcomes = planner.plan_many(queries)
+        first = outcomes[0].plan
+        evaluations: List[PlacementEvaluation] = []
+        for candidate in first.candidates:
+            matrix = candidate.matrix
+            choices: List[ReductionChoice] = []
+            for reduction, outcome in zip(reductions, outcomes):
+                ranked = outcome.plan.strategies_for_matrix(matrix)
+                if not ranked:
+                    raise EvaluationError(
+                        f"planner returned no strategies for placement "
+                        f"{matrix.describe()} and reduction {reduction.name!r}"
+                    )
+                best = ranked[0]  # plans are sorted by predicted time
+                default = outcome.plan.default_all_reduce(matrix)
+                choices.append(
+                    ReductionChoice(
+                        reduction=reduction,
+                        program=best.program,
+                        mnemonic=best.mnemonic,
+                        seconds=best.predicted_seconds,
+                        all_reduce_seconds=default.predicted_seconds,
+                    )
+                )
+            evaluations.append(
+                PlacementEvaluation(matrix=matrix, choices=tuple(choices))
+            )
+        evaluations.sort(key=lambda evaluation: evaluation.total_seconds)
+        return MultiReductionPlan(
+            axes=axes,
+            reductions=tuple(reductions),
+            algorithm=algorithm,
+            placements=evaluations,
+        )
+
+    def _validate(
+        self, axes: ParallelismAxes, reductions: Sequence[WeightedReduction]
+    ) -> None:
+        if not reductions:
+            raise EvaluationError("at least one reduction is required")
+        names = [r.name for r in reductions]
+        if len(set(names)) != len(names):
+            raise EvaluationError(f"reduction names must be unique, got {names}")
+        for reduction in reductions:
+            reduction.request.validate_against(axes)
+
     def plan(
         self,
         axes: ParallelismAxes,
@@ -185,13 +291,7 @@ class MultiReductionPlanner:
         max_matrices: Optional[int] = None,
     ) -> MultiReductionPlan:
         """Evaluate every placement against every reduction and rank them."""
-        if not reductions:
-            raise EvaluationError("at least one reduction is required")
-        names = [r.name for r in reductions]
-        if len(set(names)) != len(names):
-            raise EvaluationError(f"reduction names must be unique, got {names}")
-        for reduction in reductions:
-            reduction.request.validate_against(axes)
+        self._validate(axes, reductions)
 
         matrices = enumerate_parallelism_matrices(
             self.topology.hierarchy, axes, max_results=max_matrices

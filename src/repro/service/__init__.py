@@ -24,6 +24,7 @@ Quickstart::
     ...                         bytes_per_device=1 << 26)  # doctest: +SKIP
 """
 
+from repro.query import PlanOutcome, PlanQuery, Planner
 from repro.service.cache import CacheStats, PlanCache, plan_from_dict, plan_to_dict
 from repro.service.engine import (
     PlanningRequest,
@@ -32,8 +33,10 @@ from repro.service.engine import (
     RequestStats,
 )
 from repro.service.fingerprint import (
+    canonical_plan_query,
     canonical_query,
     canonical_topology,
+    plan_query_fingerprint,
     query_fingerprint,
 )
 from repro.service.parallel import ParallelEvaluator, default_worker_count
@@ -43,12 +46,17 @@ __all__ = [
     "PlanningRequest",
     "PlanningResponse",
     "RequestStats",
+    "PlanQuery",
+    "PlanOutcome",
+    "Planner",
     "PlanCache",
     "CacheStats",
     "plan_to_dict",
     "plan_from_dict",
     "ParallelEvaluator",
     "default_worker_count",
+    "plan_query_fingerprint",
+    "canonical_plan_query",
     "query_fingerprint",
     "canonical_query",
     "canonical_topology",

@@ -4,14 +4,16 @@ The cache maps query fingerprints (:mod:`repro.service.fingerprint`) to
 serialized :class:`~repro.api.OptimizationPlan` objects.  Lookups try the
 in-memory tier first (bounded LRU, cheap), then the disk tier (one JSON file
 per fingerprint, shared across processes and restarts); disk hits are
-promoted back into memory.  The serialization follows the conventions of
-:mod:`repro.analysis.serialization`: only plain data is stored, with a
-``format_version`` gate, and reconstruction rebuilds real domain objects.
+promoted back into memory.
 
-Unlike the sweep-result store, plans *do* persist their lowered programs
-(collective + device groups per step) — re-synthesizing them would forfeit
-the point of caching — but not the synthesizer's search state, which is why
-reconstructed candidates carry ``synthesis=None``.
+The (de)serialization itself lives on the domain objects —
+:meth:`repro.api.OptimizationPlan.to_dict` / ``from_dict`` — so any caller
+can persist plans, not just the cache; :func:`plan_to_dict` and
+:func:`plan_from_dict` remain here as compatibility aliases.  Plans *do*
+persist their lowered programs (collective + device groups per step) —
+re-synthesizing them would forfeit the point of caching — but not the
+synthesizer's search state, which is why reconstructed candidates carry
+``synthesis=None``.
 
 Corrupted or incompatible entries (truncated writes, format bumps, a file
 renamed to the wrong fingerprint) are treated as misses: the entry is
@@ -27,17 +29,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.api import OptimizationPlan, RankedStrategy
-from repro.cost.nccl import NCCLAlgorithm
+from repro.api import PLAN_FORMAT_VERSION, OptimizationPlan
 from repro.errors import ServiceError
-from repro.hierarchy.levels import SystemHierarchy
-from repro.hierarchy.matrix import ParallelismMatrix
-from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
-from repro.hierarchy.placement import DevicePlacement
-from repro.semantics.collectives import Collective
-from repro.synthesis.hierarchy import build_synthesis_hierarchy
-from repro.synthesis.lowering import LoweredProgram, LoweredStep
-from repro.synthesis.pipeline import PlacementCandidate, ProgramCandidate
 
 __all__ = [
     "PLAN_FORMAT_VERSION",
@@ -47,151 +40,15 @@ __all__ = [
     "PlanCache",
 ]
 
-PLAN_FORMAT_VERSION = 1
-
-
-# --------------------------------------------------------------------------- #
-# Plan (de)serialization
-# --------------------------------------------------------------------------- #
-def _program_to_dict(program: LoweredProgram) -> Dict:
-    return {
-        "label": program.label,
-        "steps": [
-            {
-                "collective": step.collective.value,
-                "groups": [list(group) for group in step.groups],
-            }
-            for step in program.steps
-        ],
-    }
-
-
-def _program_from_dict(data: Dict, num_devices: int) -> LoweredProgram:
-    steps = tuple(
-        LoweredStep(
-            collective=Collective(step["collective"]),
-            groups=tuple(tuple(int(d) for d in group) for group in step["groups"]),
-        )
-        for step in data["steps"]
-    )
-    return LoweredProgram(
-        num_devices=num_devices, steps=steps, source=None, label=data["label"]
-    )
-
 
 def plan_to_dict(plan: OptimizationPlan) -> Dict:
-    """Serialize an optimization plan to a JSON-compatible dict."""
-    hierarchy = plan.candidates[0].matrix.hierarchy if plan.candidates else None
-    if hierarchy is None and plan.strategies:
-        hierarchy = plan.strategies[0].matrix.hierarchy
-    if hierarchy is None:
-        raise ServiceError("cannot serialize an empty optimization plan")
-    return {
-        "format_version": PLAN_FORMAT_VERSION,
-        "hierarchy": {
-            "names": list(hierarchy.names),
-            "cardinalities": list(hierarchy.cardinalities),
-        },
-        "axes": {"sizes": list(plan.axes.sizes), "names": list(plan.axes.names)},
-        "request": {"axes": list(plan.request.axes)},
-        "bytes_per_device": plan.bytes_per_device,
-        "algorithm": plan.algorithm.value,
-        "candidates": [
-            {
-                "matrix": [list(row) for row in candidate.matrix.entries],
-                "synthesis_seconds": candidate.synthesis_seconds,
-            }
-            for candidate in plan.candidates
-        ],
-        "strategies": [
-            {
-                "matrix": [list(row) for row in strategy.matrix.entries],
-                "mnemonic": strategy.mnemonic,
-                "predicted_seconds": strategy.predicted_seconds,
-                "is_default_all_reduce": strategy.is_default_all_reduce,
-                "program": _program_to_dict(strategy.program),
-            }
-            for strategy in plan.strategies
-        ],
-    }
+    """Serialize a plan to a JSON-compatible dict (alias of ``plan.to_dict()``)."""
+    return plan.to_dict()
 
 
 def plan_from_dict(data: Dict) -> OptimizationPlan:
-    """Reconstruct an optimization plan from :func:`plan_to_dict` output.
-
-    The ranking — strategy order, matrices, mnemonics, lowered programs and
-    predicted times — is reproduced exactly.  Candidates are rebuilt with a
-    fresh synthesis hierarchy (a cheap pure function of matrix + request) and
-    ``synthesis=None``; their program lists mirror the ranked strategies.
-    """
-    version = data.get("format_version")
-    if version != PLAN_FORMAT_VERSION:
-        raise ServiceError(
-            f"unsupported plan format version {version!r} (expected {PLAN_FORMAT_VERSION})"
-        )
-    hierarchy = SystemHierarchy.from_cardinalities(
-        data["hierarchy"]["cardinalities"], tuple(data["hierarchy"]["names"])
-    )
-    axes = ParallelismAxes(
-        tuple(data["axes"]["sizes"]), tuple(data["axes"]["names"])
-    )
-    request = ReductionRequest(tuple(data["request"]["axes"]))
-    algorithm = NCCLAlgorithm(data["algorithm"])
-
-    candidates: List[PlacementCandidate] = []
-    by_entries: Dict[Tuple[Tuple[int, ...], ...], PlacementCandidate] = {}
-
-    def _candidate_for(entries: Tuple[Tuple[int, ...], ...], synthesis_seconds: float = 0.0):
-        if entries not in by_entries:
-            matrix = ParallelismMatrix(hierarchy, axes, entries)
-            candidate = PlacementCandidate(
-                matrix=matrix,
-                placement=DevicePlacement(matrix),
-                hierarchy=build_synthesis_hierarchy(matrix, request),
-                synthesis=None,
-                programs=[],
-                synthesis_seconds=synthesis_seconds,
-            )
-            by_entries[entries] = candidate
-            candidates.append(candidate)
-        return by_entries[entries]
-
-    for entry in data["candidates"]:
-        matrix_entries = tuple(tuple(int(x) for x in row) for row in entry["matrix"])
-        _candidate_for(matrix_entries, entry["synthesis_seconds"])
-
-    strategies: List[RankedStrategy] = []
-    for entry in data["strategies"]:
-        matrix_entries = tuple(tuple(int(x) for x in row) for row in entry["matrix"])
-        candidate = _candidate_for(matrix_entries)
-        program = _program_from_dict(entry["program"], hierarchy.num_devices)
-        candidate.programs.append(
-            ProgramCandidate(
-                lowered=program,
-                mnemonic=entry["mnemonic"],
-                size=program.num_steps,
-                is_default_all_reduce=entry["is_default_all_reduce"],
-            )
-        )
-        strategies.append(
-            RankedStrategy(
-                matrix=candidate.matrix,
-                program=program,
-                mnemonic=entry["mnemonic"],
-                predicted_seconds=entry["predicted_seconds"],
-                is_default_all_reduce=entry["is_default_all_reduce"],
-                candidate=candidate,
-            )
-        )
-
-    return OptimizationPlan(
-        axes=axes,
-        request=request,
-        bytes_per_device=data["bytes_per_device"],
-        algorithm=algorithm,
-        strategies=strategies,
-        candidates=candidates,
-    )
+    """Reconstruct a plan (alias of :meth:`OptimizationPlan.from_dict`)."""
+    return OptimizationPlan.from_dict(data)
 
 
 # --------------------------------------------------------------------------- #

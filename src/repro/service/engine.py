@@ -11,13 +11,18 @@ behind the three things a serving layer needs:
 * **parallelism** — cold-path candidate evaluation optionally fans out over
   a :class:`~repro.service.parallel.ParallelEvaluator` process pool, with a
   ranking guaranteed identical to the serial path,
-* **a batch API** — :meth:`optimize_many` answers a list of requests,
+* **a batch API** — :meth:`plan_many` answers a list of queries,
   deduplicating identical queries within the batch so each distinct plan is
   computed (or fetched) once.
 
-Every answer carries :class:`RequestStats` (fingerprint, cache tier, timing
-breakdown) so callers can monitor hit rates and latency without instrumenting
-the pipeline themselves.
+The service speaks the :class:`~repro.query.PlanQuery` /
+:class:`~repro.query.PlanOutcome` object model — it satisfies the
+:class:`~repro.query.Planner` protocol, interchangeable with a bare
+:class:`repro.api.P2` — and every outcome carries provenance (fingerprint,
+cache tier, timing breakdown) so callers can monitor hit rates and latency
+without instrumenting the pipeline themselves.  The pre-query
+:class:`PlanningRequest` / :meth:`submit` / :meth:`optimize_many` API remains
+as a thin shim.
 """
 
 from __future__ import annotations
@@ -31,8 +36,9 @@ from repro.cost.model import CostModel
 from repro.cost.nccl import NCCLAlgorithm
 from repro.errors import ReproError, ServiceError
 from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
-from repro.service.cache import PlanCache, plan_from_dict, plan_to_dict
-from repro.service.fingerprint import canonical_topology, query_fingerprint
+from repro.query import PlanOutcome, PlanQuery
+from repro.service.cache import PlanCache
+from repro.service.fingerprint import canonical_topology, plan_query_fingerprint
 from repro.service.parallel import ParallelEvaluator
 from repro.topology.topology import MachineTopology
 
@@ -53,6 +59,17 @@ class PlanningRequest:
         if self.bytes_per_device <= 0:
             raise ServiceError("bytes_per_device must be positive")
         self.request.validate_against(self.axes)
+
+    def to_query(self, max_program_size: int) -> PlanQuery:
+        """The :class:`PlanQuery` this request denotes under a service's limits."""
+        return PlanQuery(
+            axes=self.axes,
+            request=self.request,
+            bytes_per_device=self.bytes_per_device,
+            algorithm=self.algorithm,
+            max_matrices=self.max_matrices,
+            max_program_size=max_program_size,
+        )
 
     def describe(self) -> str:
         return (
@@ -138,20 +155,80 @@ class PlanningService:
         self.requests_served = 0
 
     # ------------------------------------------------------------------ #
-    # Single-request API
+    # The Planner protocol: plan / plan_many over PlanQuery objects
+    # ------------------------------------------------------------------ #
+    def query_fingerprint(self, query: PlanQuery) -> str:
+        """The cache key this service uses for ``query``."""
+        return plan_query_fingerprint(self.topology, query, self.cost_model)
+
+    def plan(self, query: PlanQuery) -> PlanOutcome:
+        """Answer one :class:`PlanQuery`, from cache when possible.
+
+        The query's own ``max_program_size`` / ``max_matrices`` are honoured
+        (the service's ``max_program_size`` is only the default applied when
+        legacy :class:`PlanningRequest` objects are converted).
+        """
+        start = time.perf_counter()
+        fingerprint = self.query_fingerprint(query)
+        cached, tier = self.cache.lookup(fingerprint)
+        if cached is not None:
+            try:
+                plan = OptimizationPlan.from_dict(cached)
+            except (ReproError, KeyError, TypeError, ValueError):
+                # A well-formed envelope around a semantically broken plan:
+                # honour the cache contract (corrupt entries are misses) and
+                # recompute rather than crash the service.
+                self.cache.discard(fingerprint, corrupt=True)
+                self.cache.stats.demote_hit(tier)
+                cached = None
+        if cached is not None:
+            outcome = PlanOutcome(
+                query=query, plan=plan, fingerprint=fingerprint, cache_tier=tier
+            )
+        else:
+            evaluator = self._ensure_evaluator() if self.n_workers > 1 else None
+            plan, synthesis_seconds, evaluation_seconds = compute_plan(
+                self.topology,
+                self.cost_model,
+                query.axes,
+                query.request,
+                query.bytes_per_device,
+                query.algorithm,
+                max_program_size=query.max_program_size,
+                max_matrices=query.max_matrices,
+                evaluator=evaluator,
+            )
+            outcome = PlanOutcome(
+                query=query,
+                plan=plan,
+                synthesis_seconds=synthesis_seconds,
+                evaluation_seconds=evaluation_seconds,
+                fingerprint=fingerprint,
+                cache_tier=None,
+                n_workers=self.n_workers,
+            )
+            self.cache.put(fingerprint, plan.to_dict())
+        outcome.total_seconds = time.perf_counter() - start
+        self.requests_served += 1
+        return outcome
+
+    def plan_many(self, queries: Sequence[PlanQuery]) -> List[PlanOutcome]:
+        """Answer a batch of queries, computing each distinct query once.
+
+        Duplicate queries (same fingerprint) within the batch are answered
+        from the cache — only the first occurrence pays synthesis and
+        simulation; the rest pay a lookup plus plan reconstruction.  Each
+        outcome reports how *its* lookup was served, so a duplicate of a
+        cold query shows up as a memory hit.
+        """
+        return [self.plan(query) for query in queries]
+
+    # ------------------------------------------------------------------ #
+    # Legacy single-request / batch API (pre-PlanQuery shims)
     # ------------------------------------------------------------------ #
     def fingerprint(self, request: PlanningRequest) -> str:
         """The cache key this service uses for ``request``."""
-        return query_fingerprint(
-            self.topology,
-            request.axes,
-            request.request,
-            request.bytes_per_device,
-            request.algorithm,
-            self.cost_model,
-            self.max_program_size,
-            request.max_matrices,
-        )
+        return self.query_fingerprint(request.to_query(self.max_program_size))
 
     def optimize(
         self,
@@ -167,73 +244,25 @@ class PlanningService:
         ).plan
 
     def submit(self, request: PlanningRequest) -> PlanningResponse:
-        """Answer one request, from cache when possible."""
-        start = time.perf_counter()
-        fingerprint = self.fingerprint(request)
-        cached, tier = self.cache.lookup(fingerprint)
-        if cached is not None:
-            try:
-                plan = plan_from_dict(cached)
-            except (ReproError, KeyError, TypeError, ValueError):
-                # A well-formed envelope around a semantically broken plan:
-                # honour the cache contract (corrupt entries are misses) and
-                # recompute rather than crash the service.
-                self.cache.discard(fingerprint, corrupt=True)
-                self.cache.stats.demote_hit(tier)
-                cached = None
-        if cached is not None:
-            stats = RequestStats(fingerprint=fingerprint, cache_tier=tier)
-        else:
-            plan, stats = self._compute(request, fingerprint)
-            self.cache.put(fingerprint, plan_to_dict(plan))
-        stats.num_candidates = len(plan.candidates)
-        stats.num_strategies = len(plan.strategies)
-        stats.total_seconds = time.perf_counter() - start
-        self.requests_served += 1
-        return PlanningResponse(request=request, plan=plan, stats=stats)
-
-    def _compute(
-        self, request: PlanningRequest, fingerprint: str
-    ) -> "tuple[OptimizationPlan, RequestStats]":
-        evaluator = self._ensure_evaluator() if self.n_workers > 1 else None
-        plan, synthesis_seconds, evaluation_seconds = compute_plan(
-            self.topology,
-            self.cost_model,
-            request.axes,
-            request.request,
-            request.bytes_per_device,
-            request.algorithm,
-            max_program_size=self.max_program_size,
-            max_matrices=request.max_matrices,
-            evaluator=evaluator,
-        )
+        """Answer one legacy request (a shim over :meth:`plan`)."""
+        outcome = self.plan(request.to_query(self.max_program_size))
         stats = RequestStats(
-            fingerprint=fingerprint,
-            cache_tier=None,
-            synthesis_seconds=synthesis_seconds,
-            evaluation_seconds=evaluation_seconds,
-            n_workers=self.n_workers,
+            fingerprint=outcome.fingerprint or "",
+            cache_tier=outcome.cache_tier,
+            total_seconds=outcome.total_seconds,
+            synthesis_seconds=outcome.synthesis_seconds,
+            evaluation_seconds=outcome.evaluation_seconds,
+            num_candidates=outcome.num_candidates,
+            num_strategies=outcome.num_strategies,
+            n_workers=outcome.n_workers,
         )
-        return plan, stats
+        return PlanningResponse(request=request, plan=outcome.plan, stats=stats)
 
-    # ------------------------------------------------------------------ #
-    # Batch API
-    # ------------------------------------------------------------------ #
     def optimize_many(
         self, requests: Sequence[PlanningRequest]
     ) -> List[PlanningResponse]:
-        """Answer a batch of requests, computing each distinct query once.
-
-        Duplicate queries (same fingerprint) within the batch are answered
-        from the cache — only the first occurrence pays synthesis and
-        simulation; the rest pay a lookup plus plan reconstruction.  Each
-        response's stats report how *its* lookup was served, so a duplicate
-        of a cold query shows up as a memory hit.
-        """
-        responses: List[PlanningResponse] = []
-        for request in requests:
-            responses.append(self.submit(request))
-        return responses
+        """Answer a batch of legacy requests (see :meth:`plan_many`)."""
+        return [self.submit(request) for request in requests]
 
     def warm(self, requests: Sequence[PlanningRequest]) -> int:
         """Precompute plans for ``requests``; return how many were cold."""

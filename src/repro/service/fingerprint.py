@@ -3,19 +3,23 @@
 The planning service caches :class:`~repro.api.OptimizationPlan` objects by
 the *query* that produced them.  Because the whole pipeline — placement
 enumeration, program synthesis, lowering and simulation — is a deterministic
-function of (topology, axes, request, payload, algorithm, cost model, search
-limits), a canonical hash over exactly those inputs is a sound cache key: two
-queries with the same fingerprint always produce the same ranked plan.
+function of (topology, query, cost model), a canonical hash over exactly
+those inputs is a sound cache key: two queries with the same fingerprint
+always produce the same ranked plan.
 
-The canonical form is a plain JSON-serializable dict (useful on its own for
-logging and for embedding in cache entries); the fingerprint is the SHA-256
-of its compact, key-sorted JSON encoding.  Only stable value types (strings,
-ints, floats, lists, ``None``) appear in the canonical form, so fingerprints
-are identical across process restarts and unaffected by ``PYTHONHASHSEED``.
+The canonical form is a plain JSON-serializable dict built from
+:meth:`repro.query.PlanQuery.to_dict` — the query object *is* the canonical
+query — plus the canonical topology and cost-model forms that a
+:class:`PlanQuery` deliberately does not carry (they are the service's fixed
+context, not the request).  The fingerprint is the SHA-256 of the compact,
+key-sorted JSON encoding.  Only stable value types (strings, ints, floats,
+lists, ``None``) appear, so fingerprints are identical across process
+restarts and unaffected by ``PYTHONHASHSEED``.
 
 ``FINGERPRINT_VERSION`` participates in the hash: bump it whenever the
 canonical form or any pipeline semantics change, and every previously cached
-plan is invalidated at once.
+plan is invalidated at once.  Version 2 switched the canonical query to
+``PlanQuery.to_dict`` (grouping the request fields under a ``"query"`` key).
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from typing import Dict, Optional
 from repro.cost.model import CostModel
 from repro.cost.nccl import NCCLAlgorithm
 from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.query import PlanQuery
 from repro.topology.links import LinkSpec
 from repro.topology.topology import MachineTopology
 
@@ -34,11 +39,13 @@ __all__ = [
     "FINGERPRINT_VERSION",
     "canonical_topology",
     "canonical_cost_model",
+    "canonical_plan_query",
     "canonical_query",
+    "plan_query_fingerprint",
     "query_fingerprint",
 ]
 
-FINGERPRINT_VERSION = 1
+FINGERPRINT_VERSION = 2
 
 
 def _link_to_dict(link: LinkSpec) -> Dict:
@@ -75,6 +82,38 @@ def canonical_cost_model(cost_model: CostModel) -> Dict:
     }
 
 
+def canonical_plan_query(
+    topology: MachineTopology, query: PlanQuery, cost_model: CostModel
+) -> Dict:
+    """The full canonical form of one planning query.
+
+    Everything :meth:`repro.api.P2.plan` consumes appears here; nothing else
+    does, so the fingerprint neither over- nor under-approximates the
+    pipeline's true input.
+    """
+    return {
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "topology": canonical_topology(topology),
+        "cost_model": canonical_cost_model(cost_model),
+        "query": query.to_dict(),
+    }
+
+
+def plan_query_fingerprint(
+    topology: MachineTopology, query: PlanQuery, cost_model: CostModel
+) -> str:
+    """SHA-256 fingerprint of one :class:`PlanQuery` (64 hex characters)."""
+    return _digest(canonical_plan_query(topology, query, cost_model))
+
+
+def _digest(canonical: Dict) -> str:
+    encoded = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# Loose-argument compatibility layer (pre-PlanQuery signature)
+# --------------------------------------------------------------------------- #
 def canonical_query(
     topology: MachineTopology,
     axes: ParallelismAxes,
@@ -85,23 +124,16 @@ def canonical_query(
     max_program_size: int,
     max_matrices: Optional[int] = None,
 ) -> Dict:
-    """The full canonical form of one planning query.
-
-    Everything :meth:`repro.api.P2.optimize` consumes appears here; nothing
-    else does, so the fingerprint neither over- nor under-approximates the
-    pipeline's true input.
-    """
-    return {
-        "fingerprint_version": FINGERPRINT_VERSION,
-        "topology": canonical_topology(topology),
-        "axes": {"sizes": list(axes.sizes), "names": list(axes.names)},
-        "request": {"axes": list(request.axes)},
-        "bytes_per_device": int(bytes_per_device),
-        "algorithm": algorithm.value,
-        "cost_model": canonical_cost_model(cost_model),
-        "max_program_size": int(max_program_size),
-        "max_matrices": None if max_matrices is None else int(max_matrices),
-    }
+    """Canonical form from loose arguments (builds a :class:`PlanQuery`)."""
+    query = PlanQuery(
+        axes=axes,
+        request=request,
+        bytes_per_device=bytes_per_device,
+        algorithm=algorithm,
+        max_matrices=max_matrices,
+        max_program_size=max_program_size,
+    )
+    return canonical_plan_query(topology, query, cost_model)
 
 
 def query_fingerprint(
@@ -114,16 +146,16 @@ def query_fingerprint(
     max_program_size: int,
     max_matrices: Optional[int] = None,
 ) -> str:
-    """SHA-256 fingerprint of one planning query (64 hex characters)."""
-    canonical = canonical_query(
-        topology,
-        axes,
-        request,
-        bytes_per_device,
-        algorithm,
-        cost_model,
-        max_program_size,
-        max_matrices,
+    """SHA-256 fingerprint from loose arguments (64 hex characters)."""
+    return _digest(
+        canonical_query(
+            topology,
+            axes,
+            request,
+            bytes_per_device,
+            algorithm,
+            cost_model,
+            max_program_size,
+            max_matrices,
+        )
     )
-    encoded = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

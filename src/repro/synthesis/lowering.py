@@ -112,6 +112,40 @@ class LoweredProgram:
         )
 
     # ------------------------------------------------------------------ #
+    # Serialization (used by plan caching and the query API's JSON output)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """JSON-serializable form: label + per-step collective and groups.
+
+        The synthesizer's ``source`` program is deliberately not persisted —
+        it is search state, not part of the communication pattern.
+        """
+        return {
+            "label": self.label,
+            "steps": [
+                {
+                    "collective": step.collective.value,
+                    "groups": [list(group) for group in step.groups],
+                }
+                for step in self.steps
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict, num_devices: int) -> "LoweredProgram":
+        """Rebuild a program from :meth:`to_dict` output (``source`` is ``None``)."""
+        steps = tuple(
+            LoweredStep(
+                collective=Collective(step["collective"]),
+                groups=tuple(tuple(int(d) for d in group) for group in step["groups"]),
+            )
+            for step in data["steps"]
+        )
+        return cls(
+            num_devices=num_devices, steps=steps, source=None, label=data.get("label", "")
+        )
+
+    # ------------------------------------------------------------------ #
     # Semantic validation over the physical devices
     # ------------------------------------------------------------------ #
     def run_semantics(self, initial: StateContext) -> StateContext:

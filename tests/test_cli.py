@@ -218,6 +218,103 @@ class TestMain:
         assert "removed 1" in clear_out
         assert list(tmp_path.glob("*.json")) == []
 
+    def test_optimize_json_output(self, capsys):
+        import json
+
+        exit_code = main(
+            [
+                "optimize",
+                "--system", "a100",
+                "--nodes", "2",
+                "--axes", "8", "4",
+                "--reduce", "0",
+                "--bytes", str(32 << 20),
+                "--max-program-size", "3",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        outcome = json.loads(captured.out)
+        assert outcome["query"]["axes"]["sizes"] == [8, 4]
+        assert outcome["query"]["bytes_per_device"] == 32 << 20
+        assert outcome["cache_hit"] is False
+        assert len(outcome["fingerprint"]) == 64
+        assert outcome["num_strategies"] == len(outcome["plan"]["strategies"])
+        # strategies arrive ranked, cheapest first
+        times = [s["predicted_seconds"] for s in outcome["plan"]["strategies"]]
+        assert times == sorted(times)
+
+    def test_serve_batch_json_output_is_jsonl(self, capsys):
+        import json
+
+        exit_code = main(
+            ["serve-batch", "--nodes", "2", "--max-program-size", "3",
+             "--query", f"8,4:0:{32 << 20}", "--query", f"8,4:0:{32 << 20}",
+             "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["cache_hit"] is False
+        assert second["cache_hit"] is True and second["cache_tier"] == "memory"
+        assert first["fingerprint"] == second["fingerprint"]
+
+    def test_serve_batch_accepts_planquery_dict_file(self, capsys, tmp_path):
+        import json
+
+        from repro import PlanQuery
+
+        query = PlanQuery((8, 4), (0,), 32 << 20, max_program_size=3)
+        queries = tmp_path / "queries.json"
+        queries.write_text(json.dumps([query.to_dict()]))
+        exit_code = main(
+            ["serve-batch", "--nodes", "2", "--queries-file", str(queries)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[cold]" in captured.out
+
+    def test_serve_batch_accepts_jsonl_file(self, capsys, tmp_path):
+        from repro import PlanQuery
+
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text(
+            PlanQuery((8, 4), (0,), 32 << 20, max_program_size=3).to_json()
+            + "\n"
+            + PlanQuery((8, 4), (1,), 8 << 20, max_program_size=3).to_json()
+            + "\n"
+        )
+        exit_code = main(
+            ["serve-batch", "--nodes", "2", "--queries-file", str(queries)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.out.count("query ") == 2
+
+    def test_serve_batch_accepts_single_query_object_file(self, capsys, tmp_path):
+        import json
+
+        queries = tmp_path / "query.json"
+        queries.write_text(
+            json.dumps({"axes": [8, 4], "reduce": [0], "bytes": 32 << 20})
+        )
+        exit_code = main(
+            ["serve-batch", "--nodes", "2", "--max-program-size", "3",
+             "--queries-file", str(queries)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.out.count("query ") == 1
+
+    def test_serve_batch_rejects_unparseable_queries_file(self, tmp_path):
+        queries = tmp_path / "queries.json"
+        queries.write_text("{ not json\nnot jsonl either")
+        with pytest.raises(SystemExit):
+            main(["serve-batch", "--nodes", "2", "--queries-file", str(queries)])
+
     def test_emit_command(self, capsys):
         exit_code = main(
             [

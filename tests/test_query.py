@@ -1,0 +1,456 @@
+"""Tests for the PlanQuery/PlanOutcome object model (repro.query)."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.api import P2, OptimizationPlan
+from repro.cost.model import CostModel
+from repro.cost.nccl import NCCLAlgorithm
+from repro.errors import EvaluationError, HierarchyError, QueryError
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.query import Planner, PlanQuery
+from repro.service import PlanningService
+from repro.service.fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_plan_query,
+    plan_query_fingerprint,
+    query_fingerprint,
+)
+from repro.topology.gcp import a100_system
+
+MB = 1 << 20
+
+
+def _ranking(plan):
+    return [
+        (s.matrix.describe(), s.mnemonic, s.predicted_seconds, s.is_default_all_reduce)
+        for s in plan.strategies
+    ]
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return a100_system(num_nodes=2)
+
+
+@pytest.fixture(scope="module")
+def query_84():
+    return PlanQuery(
+        axes=ParallelismAxes.of(8, 4),
+        request=ReductionRequest.over(0),
+        bytes_per_device=64 * MB,
+        max_program_size=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def outcome_84(topology, query_84):
+    return P2(topology, max_program_size=3).plan(query_84)
+
+
+class TestPlanQueryRoundTrip:
+    QUERIES = [
+        PlanQuery(ParallelismAxes.of(8, 4), ReductionRequest.over(0), 64 * MB),
+        PlanQuery(
+            ParallelismAxes.of(2, 16, names=("dp", "tp")),
+            ReductionRequest.over(1),
+            1 * MB,
+            algorithm=NCCLAlgorithm.TREE,
+        ),
+        PlanQuery(
+            ParallelismAxes.of(32),
+            ReductionRequest.over(0),
+            7,
+            max_matrices=3,
+            max_program_size=2,
+        ),
+        PlanQuery(
+            ParallelismAxes.of(4, 4, 2),
+            ReductionRequest.over(0, 2),
+            1 << 28,
+            max_matrices=None,
+            max_program_size=5,
+        ),
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.describe())
+    def test_dict_roundtrip_is_lossless(self, query):
+        assert PlanQuery.from_dict(query.to_dict()) == query
+
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.describe())
+    def test_json_roundtrip_is_lossless(self, query):
+        assert PlanQuery.from_json(query.to_json()) == query
+        # and the encoding is plain, strict JSON
+        assert json.loads(query.to_json()) == query.to_dict()
+
+    def test_to_dict_key_order_is_stable(self, query_84):
+        assert list(query_84.to_dict().keys()) == [
+            "axes",
+            "request",
+            "bytes_per_device",
+            "algorithm",
+            "max_matrices",
+            "max_program_size",
+        ]
+
+    def test_from_dict_accepts_legacy_file_shape(self):
+        legacy = {"axes": [8, 4], "reduce": [0], "bytes": 64 * MB, "algorithm": "tree"}
+        query = PlanQuery.from_dict(legacy, max_program_size=3)
+        assert query == PlanQuery(
+            ParallelismAxes.of(8, 4),
+            ReductionRequest.over(0),
+            64 * MB,
+            algorithm=NCCLAlgorithm.TREE,
+            max_program_size=3,
+        )
+
+    def test_from_dict_defaults_only_fill_missing_keys(self):
+        data = PlanQuery(
+            ParallelismAxes.of(4, 4), ReductionRequest.over(0), 5 * MB, max_matrices=2
+        ).to_dict()
+        query = PlanQuery.from_dict(data, bytes_per_device=1, max_matrices=9)
+        assert query.bytes_per_device == 5 * MB  # dict value wins
+        assert query.max_matrices == 2  # explicit key wins over the default
+        legacy = {"axes": [4, 4], "reduce": [0]}
+        assert PlanQuery.from_dict(legacy, bytes_per_device=3 * MB).bytes_per_device == 3 * MB
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(QueryError):
+            PlanQuery.from_dict({"reduce": [0]})  # no axes
+        with pytest.raises(QueryError):
+            PlanQuery.from_dict({"axes": [8, 4]})  # no request/reduce
+        with pytest.raises(QueryError):
+            PlanQuery.from_dict({"axes": [8, 4], "reduce": [0]})  # no payload anywhere
+        with pytest.raises(QueryError):
+            PlanQuery.from_dict([1, 2, 3])  # not an object
+
+    def test_from_spec_parses_legacy_cli_strings(self):
+        query = PlanQuery.from_spec("2,16:1:1048576:tree", max_program_size=3)
+        assert query == PlanQuery(
+            ParallelismAxes.of(2, 16),
+            ReductionRequest.over(1),
+            1 << 20,
+            algorithm=NCCLAlgorithm.TREE,
+            max_program_size=3,
+        )
+        defaulted = PlanQuery.from_spec("8,4:0", bytes_per_device=64 * MB)
+        assert defaulted.bytes_per_device == 64 * MB
+        assert defaulted.algorithm == NCCLAlgorithm.RING
+
+    def test_from_spec_rejects_garbage(self):
+        with pytest.raises(QueryError):
+            PlanQuery.from_spec("oops")
+        with pytest.raises(QueryError):
+            PlanQuery.from_spec("8x4:0:123")
+        with pytest.raises(QueryError):
+            PlanQuery.from_spec("8,4:0:123:nccl")
+        with pytest.raises(QueryError):
+            PlanQuery.from_spec("8,4:0")  # no payload and no default
+
+
+class TestPlanQueryValidation:
+    def test_coerces_loose_inputs_to_one_canonical_form(self):
+        loose = PlanQuery((8, 4), (0,), 1 * MB, algorithm="ring")
+        strict = PlanQuery(
+            ParallelismAxes.of(8, 4), ReductionRequest.over(0), 1 * MB,
+            algorithm=NCCLAlgorithm.RING,
+        )
+        assert loose == strict
+
+    def test_rejects_bad_payload(self):
+        with pytest.raises(QueryError):
+            PlanQuery(ParallelismAxes.of(8, 4), ReductionRequest.over(0), 0)
+        # QueryError is an EvaluationError, so pre-redesign handlers still fire.
+        with pytest.raises(EvaluationError):
+            PlanQuery(ParallelismAxes.of(8, 4), ReductionRequest.over(0), -1)
+
+    def test_rejects_non_integral_payload(self):
+        with pytest.raises(QueryError):
+            PlanQuery(ParallelismAxes.of(8, 4), ReductionRequest.over(0), 100.9)
+        with pytest.raises(QueryError):
+            PlanQuery(ParallelismAxes.of(8, 4), ReductionRequest.over(0), True)
+        # an integral float (as JSON parsers may produce) is accepted exactly
+        query = PlanQuery(ParallelismAxes.of(8, 4), ReductionRequest.over(0), 1048576.0)
+        assert query.bytes_per_device == 1 << 20
+
+    def test_rejects_bad_algorithm(self):
+        with pytest.raises(QueryError):
+            PlanQuery(ParallelismAxes.of(8, 4), ReductionRequest.over(0), 1, algorithm="nccl")
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(QueryError):
+            PlanQuery(
+                ParallelismAxes.of(8, 4), ReductionRequest.over(0), 1, max_program_size=0
+            )
+        with pytest.raises(QueryError):
+            PlanQuery(
+                ParallelismAxes.of(8, 4), ReductionRequest.over(0), 1, max_matrices=0
+            )
+
+    def test_rejects_out_of_range_reduction_axis(self):
+        with pytest.raises(HierarchyError):
+            PlanQuery(ParallelismAxes.of(8, 4), ReductionRequest.over(2), 1 * MB)
+
+
+class TestGoldenFingerprint:
+    """Pin the v2 canonical form: changing it must force a version bump."""
+
+    def test_version_is_2(self):
+        assert FINGERPRINT_VERSION == 2
+
+    def test_canonical_form_golden(self, topology, query_84):
+        canonical = canonical_plan_query(topology, query_84, CostModel())
+        assert sorted(canonical.keys()) == [
+            "cost_model",
+            "fingerprint_version",
+            "query",
+            "topology",
+        ]
+        assert canonical["fingerprint_version"] == 2
+        assert canonical["query"] == {
+            "axes": {"sizes": [8, 4], "names": ["data", "model"]},
+            "request": {"axes": [0]},
+            "bytes_per_device": 67108864,
+            "algorithm": "ring",
+            "max_matrices": None,
+            "max_program_size": 3,
+        }
+
+    def test_fingerprint_is_sha256_of_compact_encoding(self, topology, query_84):
+        canonical = canonical_plan_query(topology, query_84, CostModel())
+        encoded = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+        assert (
+            plan_query_fingerprint(topology, query_84, CostModel())
+            == hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+        )
+
+    def test_loose_argument_shim_agrees(self, topology, query_84):
+        assert plan_query_fingerprint(topology, query_84, CostModel()) == query_fingerprint(
+            topology,
+            query_84.axes,
+            query_84.request,
+            query_84.bytes_per_device,
+            query_84.algorithm,
+            CostModel(),
+            query_84.max_program_size,
+            query_84.max_matrices,
+        )
+
+
+class TestPlannerProtocol:
+    def test_p2_and_service_satisfy_the_protocol(self, topology):
+        assert isinstance(P2(topology), Planner)
+        assert isinstance(PlanningService(topology), Planner)
+
+    def test_p2_and_service_rankings_are_identical(self, topology, query_84, outcome_84):
+        served = PlanningService(topology, max_program_size=3).plan(query_84)
+        assert _ranking(served.plan) == _ranking(outcome_84.plan)
+        assert [s.program.signature() for s in served.plan.strategies] == [
+            s.program.signature() for s in outcome_84.plan.strategies
+        ]
+        assert served.fingerprint == outcome_84.fingerprint
+
+    def test_outcome_carries_provenance(self, topology, query_84, outcome_84):
+        assert outcome_84.cache_tier is None and not outcome_84.cache_hit
+        assert outcome_84.synthesis_seconds > 0
+        assert outcome_84.evaluation_seconds > 0
+        assert outcome_84.total_seconds >= outcome_84.synthesis_seconds
+        assert len(outcome_84.fingerprint) == 64
+        assert "[cold]" in outcome_84.describe()
+
+        service = PlanningService(topology, max_program_size=3)
+        service.plan(query_84)
+        warm = service.plan(query_84)
+        assert warm.cache_tier == "memory" and warm.cache_hit
+        assert "[memory]" in warm.describe()
+
+    def test_service_honours_query_search_limits(self, topology):
+        # The service's own max_program_size is only a default for legacy
+        # requests; a PlanQuery carries its own.
+        service = PlanningService(topology, max_program_size=5)
+        limited = service.plan(
+            PlanQuery(
+                ParallelismAxes.of(8, 4),
+                ReductionRequest.over(0),
+                32 * MB,
+                max_matrices=1,
+                max_program_size=3,
+            )
+        )
+        assert limited.num_candidates == 1
+
+    def test_p2_routes_to_service_with_differing_default_limit(self, topology, query_84):
+        # The query carries its own max_program_size, so the service's default
+        # being different is not a conflict on the query-based route.
+        service = PlanningService(topology, max_program_size=5)
+        routed = P2(topology, max_program_size=3).plan(query_84, service=service)
+        direct = P2(topology, max_program_size=3).plan(query_84)
+        assert _ranking(routed.plan) == _ranking(direct.plan)
+
+    def test_plan_many_records_pool_size_in_provenance(self, topology, query_84):
+        outcomes = P2(topology, max_program_size=3).plan_many([query_84], n_workers=2)
+        assert outcomes[0].n_workers == 2
+
+    def test_plan_many_preserves_order_and_dedupes(self, topology, query_84):
+        other = PlanQuery(
+            ParallelismAxes.of(8, 4), ReductionRequest.over(1), 64 * MB,
+            max_program_size=3,
+        )
+        service = PlanningService(topology, max_program_size=3)
+        outcomes = service.plan_many([query_84, other, query_84])
+        assert [o.query for o in outcomes] == [query_84, other, query_84]
+        assert [o.cache_tier for o in outcomes] == [None, None, "memory"]
+
+    def test_p2_plan_many(self, topology, query_84, outcome_84):
+        outcomes = P2(topology, max_program_size=3).plan_many([query_84, query_84])
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert _ranking(outcome.plan) == _ranking(outcome_84.plan)
+
+    def test_outcome_to_dict_is_json_safe(self, outcome_84):
+        encoded = json.dumps(outcome_84.to_dict(), sort_keys=True)
+        decoded = json.loads(encoded)
+        assert decoded["query"] == outcome_84.query.to_dict()
+        assert decoded["cache_hit"] is False
+        assert decoded["num_strategies"] == len(outcome_84.plan.strategies)
+        restored = OptimizationPlan.from_dict(decoded["plan"])
+        assert _ranking(restored) == _ranking(outcome_84.plan)
+
+
+class TestPlanJsonRoundTrip:
+    def test_ranking_and_speedup_survive_json(self, outcome_84):
+        plan = outcome_84.plan
+        restored = OptimizationPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert _ranking(restored) == _ranking(plan)
+        assert restored.speedup_over_default() == plan.speedup_over_default()
+        assert restored.bytes_per_device == plan.bytes_per_device
+
+    def test_restored_strategies_record_their_payload(self, outcome_84):
+        plan = outcome_84.plan
+        restored = OptimizationPlan.from_dict(plan.to_dict())
+        assert all(
+            s.bytes_per_device == plan.bytes_per_device for s in restored.strategies
+        )
+
+    def test_standalone_strategy_roundtrip_is_self_describing(self, outcome_84):
+        from repro.api import RankedStrategy
+
+        strategy = outcome_84.plan.default_all_reduce()
+        restored = RankedStrategy.from_dict(strategy.to_dict(), strategy.candidate)
+        assert restored.bytes_per_device == strategy.bytes_per_device
+        assert restored.program.signature() == strategy.program.signature()
+
+    def test_strategy_from_dict_does_not_mutate_the_candidate(self, outcome_84):
+        from repro.api import RankedStrategy
+
+        strategy = outcome_84.plan.default_all_reduce()
+        before = len(strategy.candidate.programs)
+        RankedStrategy.from_dict(strategy.to_dict(), strategy.candidate)
+        RankedStrategy.from_dict(strategy.to_dict(), strategy.candidate)
+        assert len(strategy.candidate.programs) == before
+
+    def test_double_plan_roundtrip_does_not_accumulate_programs(self, outcome_84):
+        once = OptimizationPlan.from_dict(outcome_84.plan.to_dict())
+        twice = OptimizationPlan.from_dict(once.to_dict())
+        assert [len(c.programs) for c in twice.candidates] == [
+            len(c.programs) for c in once.candidates
+        ]
+
+
+class TestLegacyShim:
+    """The pre-redesign P2.optimize signature keeps working, byte for byte."""
+
+    def test_positional_call(self, topology, query_84, outcome_84):
+        plan = P2(topology, max_program_size=3).optimize(
+            query_84.axes, query_84.request, query_84.bytes_per_device
+        )
+        assert _ranking(plan) == _ranking(outcome_84.plan)
+
+    def test_keyword_call_with_limits(self, topology):
+        plan = P2(topology, max_program_size=3).optimize(
+            axes=ParallelismAxes.of(8, 4),
+            request=ReductionRequest.over(0),
+            bytes_per_device=32 * MB,
+            algorithm=NCCLAlgorithm.RING,
+            max_matrices=1,
+        )
+        assert len(plan.candidates) == 1
+
+    def test_invalid_payload_still_raises_evaluation_error(self, topology):
+        with pytest.raises(EvaluationError):
+            P2(topology).optimize(ParallelismAxes.of(32), ReductionRequest.over(0), 0)
+
+
+class TestSimulatePayloadProvenance:
+    """P2.simulate no longer invents a magic 1 MiB payload."""
+
+    def test_strategies_record_the_query_payload(self, query_84, outcome_84):
+        assert all(
+            s.bytes_per_device == query_84.bytes_per_device
+            for s in outcome_84.plan.strategies
+        )
+
+    def test_simulate_defaults_to_the_originating_payload(self, topology, outcome_84):
+        p2 = P2(topology, max_program_size=3)
+        strategy = outcome_84.plan.default_all_reduce()
+        implicit = p2.simulate(strategy)
+        explicit = p2.simulate(strategy, bytes_per_device=strategy.bytes_per_device)
+        assert implicit.total_seconds == explicit.total_seconds
+        # and the recorded payload is the query's, not 1 MiB
+        assert strategy.bytes_per_device == 64 * MB
+
+    def test_simulate_without_any_payload_is_an_error(self, topology, outcome_84):
+        p2 = P2(topology, max_program_size=3)
+        orphan = replace(outcome_84.plan.default_all_reduce(), bytes_per_device=None)
+        with pytest.raises(EvaluationError):
+            p2.simulate(orphan)
+
+
+class TestMultiReductionPlannerIntegration:
+    def test_plan_with_matches_best_placement(self, topology):
+        from repro.planner import MultiReductionPlanner, WeightedReduction
+
+        reductions = [
+            WeightedReduction("gradients", ReductionRequest.over(0), 32 * MB),
+            WeightedReduction("activations", ReductionRequest.over(1), 8 * MB, weight=4),
+        ]
+        planner = MultiReductionPlanner(topology, max_program_size=3)
+        direct = planner.plan(ParallelismAxes.of(2, 16), reductions)
+        routed = planner.plan_with(
+            P2(topology, max_program_size=3), ParallelismAxes.of(2, 16), reductions
+        )
+        assert routed.best.matrix == direct.best.matrix
+        assert routed.best.total_seconds == pytest.approx(direct.best.total_seconds)
+
+    def test_plan_with_rejects_mismatched_planner_topology(self, topology):
+        from repro.planner import MultiReductionPlanner, WeightedReduction
+        from repro.topology.gcp import v100_system
+
+        planner = MultiReductionPlanner(topology, max_program_size=3)
+        with pytest.raises(EvaluationError):
+            planner.plan_with(
+                P2(v100_system(num_nodes=2), max_program_size=3),
+                ParallelismAxes.of(8, 4),
+                [WeightedReduction("gradients", ReductionRequest.over(0), 1 * MB)],
+            )
+
+    def test_queries_for_feeds_the_service_cache(self, topology):
+        from repro.planner import MultiReductionPlanner, WeightedReduction
+
+        reductions = [
+            WeightedReduction("gradients", ReductionRequest.over(0), 32 * MB),
+        ]
+        planner = MultiReductionPlanner(topology, max_program_size=3)
+        queries = planner.queries_for(ParallelismAxes.of(8, 4), reductions)
+        assert [q.bytes_per_device for q in queries] == [32 * MB]
+
+        service = PlanningService(topology, max_program_size=3)
+        service.plan_many(queries)  # warm the cache
+        routed = planner.plan_with(service, ParallelismAxes.of(8, 4), reductions)
+        assert service.cache.stats.hits >= 1
+        assert routed.best.total_seconds >= 0.0
