@@ -16,6 +16,7 @@ for every configuration, and parallel == serial rankings.
 from __future__ import annotations
 
 import time
+from statistics import median
 
 import pytest
 
@@ -42,7 +43,7 @@ def _request_for(config) -> PlanningRequest:
 
 
 @pytest.mark.benchmark(group="service-throughput")
-def test_cold_vs_warm_cache_throughput(benchmark, save_artifact, tmp_path_factory):
+def test_cold_vs_warm_cache_throughput(benchmark, save_artifact, bench_json, tmp_path_factory):
     configs = table4_configs(payload_scale=0.01)
     cache_root = tmp_path_factory.mktemp("plan-cache")
 
@@ -113,6 +114,19 @@ def test_cold_vs_warm_cache_throughput(benchmark, save_artifact, tmp_path_factor
         float_fmt="{:.3f}",
     )
     save_artifact("service_throughput", text)
+    bench_json(
+        "service_cold_plan",
+        median(row[2] for row in rows),
+        counters={
+            "configurations": len(rows),
+            "strategies": sum(row[1] for row in rows),
+        },
+    )
+    bench_json(
+        "service_warm_memory_lookup",
+        median(row[3] for row in rows) / 1e3,
+        counters={"configurations": len(rows)},
+    )
 
     # The acceptance bar: warm lookups are >= 10x faster than cold synthesis
     # on every configuration of the bench_synthesis_time workload.

@@ -12,6 +12,7 @@ comparing program counts at size limits 4 and 5 for one configuration.
 from __future__ import annotations
 
 import time
+from statistics import median
 
 import pytest
 
@@ -25,7 +26,7 @@ from repro.utils.tabulate import format_table
 
 
 @pytest.mark.benchmark(group="synthesis-time")
-def test_synthesis_time_per_configuration(benchmark, save_artifact):
+def test_synthesis_time_per_configuration(benchmark, save_artifact, bench_json):
     configs = table4_configs(payload_scale=0.01)
 
     def synthesize_everything():
@@ -58,6 +59,15 @@ def test_synthesis_time_per_configuration(benchmark, save_artifact):
         float_fmt="{:.3f}",
     )
     save_artifact("synthesis_time", text)
+    bench_json(
+        "synthesis_time",
+        median(row[4] for row in rows),
+        counters={
+            "configurations": len(rows),
+            "matrices": sum(row[2] for row in rows),
+            "programs": sum(row[3] for row in rows),
+        },
+    )
 
     # Result 2 shape: every configuration synthesizes in seconds, hundreds of
     # programs at most.  (The paper's numbers are < 2 s on their machine.)

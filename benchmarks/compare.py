@@ -1,0 +1,156 @@
+"""Benchmark-regression gate for CI.
+
+Compares the machine-readable ``BENCH_*.json`` records a benchmark run wrote
+to ``benchmarks/output/`` against the committed baseline
+(``benchmarks/baseline.json``) and exits non-zero when anything regressed:
+
+* ``median_seconds`` may grow by at most the tolerance (default 30%, i.e. a
+  metric *regresses* when ``current > baseline * 1.3``; per-metric
+  ``tolerance`` entries in the baseline override the default — timing noise
+  on shared CI runners warrants looser bars for sub-10ms metrics),
+* ``counters`` are deterministic workload invariants (program counts,
+  scenario counts) and must match the baseline exactly,
+* a baseline metric with no current record fails (a silently skipped
+  benchmark must not pass the gate); new current records that the baseline
+  does not know yet are reported but pass.
+
+``--update`` rewrites the baseline from the current records (keeping any
+per-metric tolerances), which is how the committed file is refreshed when a
+workload legitimately changes.
+
+Stdlib-only on purpose: CI runs it as ``python benchmarks/compare.py`` with
+no install step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_VERSION = 1
+DEFAULT_TOLERANCE = 0.30
+
+HERE = Path(__file__).parent
+
+
+def load_current(output_dir: Path) -> dict:
+    records = {}
+    for path in sorted(output_dir.glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"{path}: not valid JSON: {error}")
+        name = record.get("name")
+        if not name:
+            raise SystemExit(f"{path}: record has no 'name'")
+        records[name] = record
+    return records
+
+
+def load_baseline(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"baseline {path} does not exist (run with --update to create it)")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"{path}: not valid JSON: {error}")
+    version = data.get("format_version")
+    if version != BASELINE_VERSION:
+        raise SystemExit(
+            f"{path}: unsupported baseline format version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    return data
+
+
+def compare(baseline: dict, current: dict, default_tolerance: float):
+    """Yield (level, message) findings; level is 'fail' or 'info'."""
+    entries = baseline.get("benchmarks", {})
+    for name, entry in sorted(entries.items()):
+        record = current.get(name)
+        if record is None:
+            yield "fail", f"{name}: no BENCH_{name}.json in the current run"
+            continue
+        tolerance = float(entry.get("tolerance", default_tolerance))
+        base_median = float(entry["median_seconds"])
+        cur_median = float(record.get("median_seconds", float("inf")))
+        limit = base_median * (1.0 + tolerance)
+        if cur_median > limit:
+            yield "fail", (
+                f"{name}: median {cur_median:.4f}s exceeds baseline "
+                f"{base_median:.4f}s by more than {tolerance * 100:.0f}% "
+                f"(limit {limit:.4f}s)"
+            )
+        else:
+            yield "info", (
+                f"{name}: median {cur_median:.4f}s vs baseline {base_median:.4f}s "
+                f"(limit {limit:.4f}s) ok"
+            )
+        base_counters = entry.get("counters", {})
+        cur_counters = record.get("counters", {})
+        for key, base_value in sorted(base_counters.items()):
+            cur_value = cur_counters.get(key)
+            if cur_value != base_value:
+                yield "fail", (
+                    f"{name}: counter {key!r} = {cur_value!r} differs from "
+                    f"baseline {base_value!r} (counters gate exactly)"
+                )
+    for name in sorted(set(current) - set(entries)):
+        yield "info", f"{name}: new benchmark, not in the baseline yet (add via --update)"
+
+
+def update_baseline(path: Path, baseline: dict, current: dict) -> None:
+    old = baseline.get("benchmarks", {})
+    benchmarks = {}
+    for name, record in sorted(current.items()):
+        entry = {
+            "median_seconds": record["median_seconds"],
+            "counters": record.get("counters", {}),
+        }
+        if "tolerance" in old.get(name, {}):
+            entry["tolerance"] = old[name]["tolerance"]
+        benchmarks[name] = entry
+    payload = {"format_version": BASELINE_VERSION, "benchmarks": benchmarks}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"baseline rewritten with {len(benchmarks)} benchmarks: {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=HERE / "baseline.json")
+    parser.add_argument("--current", type=Path, default=HERE / "output",
+                        help="directory holding the run's BENCH_*.json records")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="default allowed relative median growth (0.30 = +30%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current records")
+    args = parser.parse_args(argv)
+
+    current = load_current(args.current)
+    if not current:
+        raise SystemExit(f"no BENCH_*.json records under {args.current}")
+
+    if args.update:
+        baseline = (
+            load_baseline(args.baseline) if args.baseline.exists() else {"benchmarks": {}}
+        )
+        update_baseline(args.baseline, baseline, current)
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    failures = 0
+    for level, message in compare(baseline, current, args.tolerance):
+        print(f"[{level.upper()}] {message}")
+        if level == "fail":
+            failures += 1
+    if failures:
+        print(f"\n{failures} benchmark metric(s) regressed vs {args.baseline}")
+        return 1
+    print(f"\nall benchmark metrics within tolerance of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,12 +16,14 @@ control the fidelity / cost trade-off:
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+BENCH_RECORD_VERSION = 1
 
 
 def _payload_scale() -> float:
@@ -60,3 +62,28 @@ def save_artifact(output_dir):
         return path
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def bench_json(output_dir):
+    """Return a helper that writes one machine-readable ``BENCH_<name>.json``.
+
+    The schema is what ``benchmarks/compare.py`` (the CI regression gate)
+    consumes: a benchmark name, a median wall-clock in seconds, and integer
+    ``counters`` that are deterministic for a given workload (program and
+    matrix counts, cache-hit counts) and therefore gate exactly, while the
+    timing gates with a relative tolerance.
+    """
+
+    def _write(name: str, median_seconds: float, counters=None) -> Path:
+        payload = {
+            "format_version": BENCH_RECORD_VERSION,
+            "name": name,
+            "median_seconds": float(median_seconds),
+            "counters": {key: int(value) for key, value in (counters or {}).items()},
+        }
+        path = output_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return _write

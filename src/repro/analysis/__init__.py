@@ -12,7 +12,11 @@ should be produced once and analysed many times:
 """
 
 from repro.analysis.serialization import (
+    iter_jsonl_records,
+    load_jsonl_results,
     load_results,
+    result_from_record,
+    result_to_record,
     results_from_json,
     results_to_json,
     save_results,
@@ -25,6 +29,10 @@ __all__ = [
     "results_from_json",
     "save_results",
     "load_results",
+    "result_to_record",
+    "result_from_record",
+    "load_jsonl_results",
+    "iter_jsonl_records",
     "SpeedupSummary",
     "summarize_results",
     "SweepComparison",

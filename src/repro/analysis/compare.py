@@ -9,7 +9,7 @@ parallelism matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import EvaluationError
 from repro.evaluation.runner import MatrixResult, SweepResult

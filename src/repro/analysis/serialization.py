@@ -5,13 +5,24 @@ arguments and each program keeps its label, mnemonic, size and the two times.
 Loading therefore does not reconstruct lowered programs (they can always be
 re-synthesized deterministically from the configuration); it reconstructs
 everything the tables, figures and statistics need.
+
+Two formats share the same building blocks:
+
+* :func:`results_to_json` / :func:`results_from_json` — one JSON document
+  for a whole result list (``repro-cli sweep --save``).
+* :func:`result_to_record` / :func:`result_from_record` — one self-contained
+  dict per scenario, written as JSONL by
+  :meth:`~repro.evaluation.runner.SweepRunner.run_stream` (one flushed line
+  per scenario = a resumable checkpoint).  Records carry the scenario name,
+  the canonical :class:`~repro.query.PlanQuery` dict and the
+  :class:`~repro.query.PlanOutcome` provenance next to the result proper.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.cost.nccl import NCCLAlgorithm
 from repro.errors import EvaluationError
@@ -21,9 +32,19 @@ from repro.hierarchy.matrix import ParallelismMatrix
 from repro.hierarchy.parallelism import ParallelismAxes
 from repro.hierarchy.levels import SystemHierarchy
 
-__all__ = ["results_to_json", "results_from_json", "save_results", "load_results"]
+__all__ = [
+    "results_to_json",
+    "results_from_json",
+    "save_results",
+    "load_results",
+    "result_to_record",
+    "result_from_record",
+    "load_jsonl_results",
+    "iter_jsonl_records",
+]
 
 FORMAT_VERSION = 1
+SWEEP_RECORD_VERSION = 1
 
 
 # --------------------------------------------------------------------------- #
@@ -72,6 +93,7 @@ def results_to_json(results: Sequence[SweepResult]) -> str:
                 "synthesis_seconds": result.synthesis_seconds,
                 "prediction_seconds": result.prediction_seconds,
                 "measurement_seconds": result.measurement_seconds,
+                "provenance": result.provenance(),
                 "matrices": [_matrix_to_dict(m) for m in result.matrices],
             }
             for result in results
@@ -134,6 +156,7 @@ def results_from_json(text: str) -> List[SweepResult]:
     for entry in payload["results"]:
         config = _config_from_dict(entry["config"])
         matrices = [_matrix_from_dict(m, config) for m in entry["matrices"]]
+        provenance = entry.get("provenance", {})
         results.append(
             SweepResult(
                 config=config,
@@ -141,9 +164,85 @@ def results_from_json(text: str) -> List[SweepResult]:
                 synthesis_seconds=entry["synthesis_seconds"],
                 prediction_seconds=entry["prediction_seconds"],
                 measurement_seconds=entry["measurement_seconds"],
+                cache_tier=provenance.get("cache_tier"),
+                fingerprint=provenance.get("fingerprint"),
+                planner_seconds=provenance.get("planner_seconds", 0.0),
+                n_workers=provenance.get("n_workers", 1),
             )
         )
     return results
+
+
+# --------------------------------------------------------------------------- #
+# Per-scenario records (the JSONL checkpoint format of SweepRunner.run_stream)
+# --------------------------------------------------------------------------- #
+def result_to_record(result: SweepResult, query: Optional[Dict] = None) -> Dict:
+    """One self-contained JSONL record for one scenario's result.
+
+    ``query`` is the scenario's canonical ``PlanQuery.to_dict()``; resume
+    matches records by (scenario name, query), so a renamed or re-shaped
+    scenario is recomputed rather than wrongly restored.
+    """
+    return {
+        "format_version": SWEEP_RECORD_VERSION,
+        "scenario": result.config.name,
+        "config": _config_to_dict(result.config),
+        "query": query,
+        "provenance": result.provenance(),
+        "matrices": [_matrix_to_dict(m) for m in result.matrices],
+    }
+
+
+def result_from_record(data: Dict) -> SweepResult:
+    """Rebuild a :class:`SweepResult` from :func:`result_to_record` output."""
+    version = data.get("format_version")
+    if version != SWEEP_RECORD_VERSION:
+        raise EvaluationError(
+            f"unsupported sweep-record format version {version!r} "
+            f"(expected {SWEEP_RECORD_VERSION})"
+        )
+    config = _config_from_dict(data["config"])
+    matrices = [_matrix_from_dict(m, config) for m in data["matrices"]]
+    provenance = data.get("provenance", {})
+    return SweepResult(
+        config=config,
+        matrices=matrices,
+        synthesis_seconds=provenance.get("synthesis_seconds", 0.0),
+        prediction_seconds=provenance.get("evaluation_seconds", 0.0),
+        measurement_seconds=provenance.get("measurement_seconds", 0.0),
+        cache_tier=provenance.get("cache_tier"),
+        fingerprint=provenance.get("fingerprint"),
+        planner_seconds=provenance.get("planner_seconds", 0.0),
+        n_workers=provenance.get("n_workers", 1),
+    )
+
+
+def load_jsonl_results(path: Union[str, Path]) -> List[SweepResult]:
+    """Load every record of a :meth:`SweepRunner.run_stream` JSONL checkpoint.
+
+    The last record wins for a repeated scenario name (a resumed sweep whose
+    query changed appends a superseding record); order follows first
+    appearance.
+    """
+    by_name: Dict[str, SweepResult] = {}
+    for record in iter_jsonl_records(path):
+        by_name[record.get("scenario", "")] = result_from_record(record)
+    return list(by_name.values())
+
+
+def iter_jsonl_records(path: Union[str, Path]) -> Iterator[Dict]:
+    """Parsed records of a JSONL checkpoint, tolerating a torn trailing line."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a partially written (interrupted) trailing line
+            if isinstance(record, dict):
+                yield record
 
 
 # --------------------------------------------------------------------------- #

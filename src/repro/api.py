@@ -62,7 +62,10 @@ __all__ = [
     "compute_plan",
 ]
 
-PLAN_FORMAT_VERSION = 1
+# v2: RankedStrategy entries carry the DSL program "size" next to the lowered
+# program.  Older envelopes lack it, so they must miss (and recompute) rather
+# than be served with step counts masquerading as program sizes.
+PLAN_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -81,6 +84,7 @@ class RankedStrategy:
     is_default_all_reduce: bool
     candidate: PlacementCandidate
     bytes_per_device: Optional[int] = None
+    size: Optional[int] = None  # DSL program size (instruction count), not steps
 
     def describe(self) -> str:
         tag = " [default]" if self.is_default_all_reduce else ""
@@ -97,6 +101,7 @@ class RankedStrategy:
             "predicted_seconds": self.predicted_seconds,
             "is_default_all_reduce": self.is_default_all_reduce,
             "bytes_per_device": self.bytes_per_device,
+            "size": self.size,
             "program": self.program.to_dict(),
         }
 
@@ -123,6 +128,7 @@ class RankedStrategy:
             is_default_all_reduce=data["is_default_all_reduce"],
             candidate=candidate,
             bytes_per_device=data.get("bytes_per_device") or bytes_per_device,
+            size=data.get("size"),
         )
 
 
@@ -283,7 +289,11 @@ class OptimizationPlan:
                 ProgramCandidate(
                     lowered=strategy.program,
                     mnemonic=strategy.mnemonic,
-                    size=strategy.program.num_steps,
+                    size=(
+                        strategy.size
+                        if strategy.size is not None
+                        else strategy.program.num_steps
+                    ),
                     is_default_all_reduce=strategy.is_default_all_reduce,
                 )
             )
@@ -314,6 +324,7 @@ class StrategyEntry:
     lowered: LoweredProgram
     mnemonic: str
     is_default_all_reduce: bool
+    size: int = 1  # DSL program size (the baseline AllReduce counts as 1)
 
 
 def collect_strategy_entries(
@@ -323,12 +334,14 @@ def collect_strategy_entries(
     entries: List[StrategyEntry] = []
     for candidate in candidates:
         baseline = default_all_reduce(candidate.placement, request)
-        entries.append(StrategyEntry(candidate, baseline, "AR", True))
+        entries.append(StrategyEntry(candidate, baseline, "AR", True, 1))
         for program in candidate.programs:
             if program.is_default_all_reduce:
                 continue
             entries.append(
-                StrategyEntry(candidate, program.lowered, program.mnemonic, False)
+                StrategyEntry(
+                    candidate, program.lowered, program.mnemonic, False, program.size
+                )
             )
     return entries
 
@@ -360,6 +373,8 @@ def compute_plan(
     max_program_size: int = 5,
     max_matrices: Optional[int] = None,
     evaluator=None,
+    node_limit: int = 500_000,
+    validate: bool = True,
 ) -> Tuple["OptimizationPlan", float, float]:
     """The cold-path pipeline shared by :meth:`P2.optimize` and the service.
 
@@ -378,6 +393,8 @@ def compute_plan(
         request,
         max_program_size=max_program_size,
         max_matrices=max_matrices,
+        node_limit=node_limit,
+        validate=validate,
     )
     entries = collect_strategy_entries(candidates, request)
     synthesis_seconds = time.perf_counter() - synth_start
@@ -427,6 +444,7 @@ def rank_entries(
             is_default_all_reduce=entry.is_default_all_reduce,
             candidate=entry.candidate,
             bytes_per_device=bytes_per_device,
+            size=entry.size,
         )
         for entry, seconds in zip(entries, predicted)
     ]
@@ -450,6 +468,8 @@ class P2:
     cost_model: CostModel = field(default_factory=CostModel)
     max_program_size: int = 5
     noise_seed: int = 0
+    validate_lowering: bool = True
+    node_limit: int = 500_000
 
     # ------------------------------------------------------------------ #
     def plan(
@@ -513,6 +533,8 @@ class P2:
                     max_program_size=query.max_program_size,
                     max_matrices=query.max_matrices,
                     evaluator=pool,
+                    node_limit=self.node_limit,
+                    validate=self.validate_lowering,
                 )
         else:
             plan, synthesis_seconds, evaluation_seconds = compute_plan(
@@ -525,6 +547,8 @@ class P2:
                 max_program_size=query.max_program_size,
                 max_matrices=query.max_matrices,
                 evaluator=evaluator,
+                node_limit=self.node_limit,
+                validate=self.validate_lowering,
             )
         if evaluator is not None:
             workers = getattr(evaluator, "n_workers", 1)

@@ -8,7 +8,6 @@ hierarchy.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.dsl.forms import InsideGroup
 from repro.dsl.program import ReductionInstruction, ReductionProgram

@@ -12,7 +12,11 @@
 * ``repro-cli cache stats | clear`` — inspect or clear an on-disk plan cache.
 * ``repro-cli table3 | table4 | table5`` — regenerate the paper tables.
 * ``repro-cli figure11`` — regenerate the Figure 11 series.
-* ``repro-cli sweep`` — run the appendix sweep (optionally a quick subset).
+* ``repro-cli sweep`` — run a scenario sweep: a named preset
+  (``--preset smoke|paper-table2|gcp-scaleout|payload-ladder|appendix``), a
+  grid file (``--grid grid.json``) or the full appendix by default, with
+  JSONL streaming (``--out``/``--json``), checkpoint resume (``--resume``)
+  and cache/worker amortization (``--cache-dir``/``--workers``).
 
 All commands accept ``--payload-scale`` so they can be run quickly on a
 laptop; the default reproduces the paper's full payload sizes.
@@ -22,7 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.api import P2
 from repro.cost.nccl import NCCLAlgorithm
@@ -150,13 +154,35 @@ def build_parser() -> argparse.ArgumentParser:
         ("table4", "reproduce Table 4 (synthesized strategies vs AllReduce)"),
         ("table5", "reproduce Table 5 (simulator accuracy)"),
         ("figure11", "reproduce the Figure 11 series"),
-        ("sweep", "run the appendix sweep"),
+        ("sweep", "run a scenario sweep (a preset, a grid file or the appendix)"),
     ]:
         p = sub.add_parser(name, help=helptext)
         add_common(p)
         if name == "sweep":
+            from repro.evaluation.scenarios import preset_names
+
+            # None (not 1.0) so an explicit "--payload-scale 1.0" is
+            # distinguishable from "not given" and overrides preset defaults.
+            p.set_defaults(payload_scale=None)
             p.add_argument("--save", type=str, default=None,
                            help="write the raw sweep results to this JSON file")
+            p.add_argument("--preset", choices=preset_names(), default=None,
+                           help="run a named scenario preset instead of the appendix")
+            p.add_argument("--grid", type=str, default=None,
+                           help="run the ScenarioGrid described by this JSON file")
+            p.add_argument("--out", type=str, default=None,
+                           help="stream one JSONL record per scenario to this file "
+                                "(flushed per scenario: a resumable checkpoint)")
+            p.add_argument("--resume", action="store_true",
+                           help="skip scenarios already recorded in --out")
+            p.add_argument("--workers", type=int, default=None,
+                           help="answer queries through a planning service with "
+                                "a process pool of this size")
+            p.add_argument("--cache-dir", type=str, default=None,
+                           help="answer queries through a planning service with an "
+                                "on-disk plan cache here (warm re-runs are lookups)")
+            p.add_argument("--json", action="store_true",
+                           help="print each scenario record as one JSON line")
     return parser
 
 
@@ -282,13 +308,15 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
         cache=cache,
         n_workers=args.workers,
     ) as service:
-        outcomes = service.plan_many(queries)
         if args.json:
             import json
 
-            for outcome in outcomes:
-                print(json.dumps(outcome.to_dict(), sort_keys=True))
+            # Stream: one line flushed per answered query, so a consumer (or
+            # an interrupted run) sees every completed outcome immediately.
+            for outcome in service.plan_stream(queries):
+                print(json.dumps(outcome.to_dict(), sort_keys=True), flush=True)
             return 0
+        outcomes = service.plan_many(queries)
         for outcome in outcomes:
             print(f"query {outcome.query.describe()}")
             print(f"  {outcome.describe()}")
@@ -390,6 +418,87 @@ def _quick_runner(args: argparse.Namespace) -> SweepRunner:
     return SweepRunner(measurement_runs=runs)
 
 
+def _sweep_scenarios(args: argparse.Namespace):
+    """Scenario list plus runner measurement settings for ``repro-cli sweep``."""
+    from repro.evaluation.scenarios import (
+        PRESETS,
+        ScenarioGrid,
+        scenarios_from_configs,
+    )
+
+    measure = True
+    runs = 1 if args.quick else 3
+    # The sweep subparser defaults --payload-scale to None, so a value here
+    # is always user-given and overrides the preset/grid's own scale.
+    explicit_scale = args.payload_scale
+    if args.preset:
+        entry = PRESETS[args.preset]
+        scenarios = entry.scenarios(explicit_scale)
+        measure = entry.measure_programs
+        runs = 1 if args.quick else entry.measurement_runs
+    elif args.grid:
+        grid = ScenarioGrid.from_json_file(args.grid)
+        if explicit_scale is not None:
+            grid = grid.scaled(explicit_scale)
+        scenarios = grid.expand()
+    else:
+        scenarios = scenarios_from_configs(
+            appendix_configs(explicit_scale if explicit_scale is not None else 1.0)
+        )
+    if args.quick:
+        scenarios = scenarios[:6]
+    return scenarios, measure, runs
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    if args.resume and not args.out:
+        raise SystemExit("--resume needs --out (the JSONL checkpoint to resume)")
+    scenarios, measure, runs = _sweep_scenarios(args)
+    if not scenarios:
+        raise SystemExit("the sweep selected no scenarios")
+
+    planner_factory = None
+    if args.cache_dir is not None or (args.workers or 0) > 1:
+        from repro.service import PlanCache, PlanningService
+
+        def planner_factory(topology):
+            # One shared directory is safe: cache keys are fingerprints that
+            # cover the topology, so entries never collide across systems.
+            return PlanningService(
+                topology,
+                cache=PlanCache(directory=args.cache_dir),
+                n_workers=args.workers,
+            )
+
+    def on_record(record):
+        if args.json:
+            print(json.dumps(record, sort_keys=True), flush=True)
+
+    runner = SweepRunner(
+        measurement_runs=runs,
+        measure_programs=measure,
+        planner_factory=planner_factory,
+    )
+    with runner:
+        results = runner.run_stream(
+            scenarios, out_path=args.out, resume=args.resume, on_record=on_record
+        )
+
+    if not args.json:
+        print(render_sweep_summary(results))
+        print()
+        print(build_appendix_table(results).text)
+    if args.save:
+        from repro.analysis import save_results
+
+        path = save_results(results, args.save)
+        if not args.json:
+            print(f"\nraw results written to {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -433,20 +542,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "sweep":
-        configs = appendix_configs(args.payload_scale)
-        if args.quick:
-            configs = configs[:6]
-        runner = _quick_runner(args)
-        results = runner.run_many(configs)
-        print(render_sweep_summary(results))
-        print()
-        print(build_appendix_table(results).text)
-        if args.save:
-            from repro.analysis import save_results
-
-            path = save_results(results, args.save)
-            print(f"\nraw results written to {path}")
-        return 0
+        return _run_sweep(args)
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

@@ -23,7 +23,7 @@ sharing when many replicas reduce at once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import CostModelError
 from repro.synthesis.lowering import LoweredStep

@@ -19,9 +19,9 @@ the examples can explain *why* a strategy wins.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.cost.contention import StepContention, analyze_step_contention
+from repro.cost.contention import analyze_step_contention
 from repro.cost.model import CostModel
 from repro.cost.nccl import NCCLAlgorithm
 from repro.errors import CostModelError

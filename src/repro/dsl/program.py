@@ -10,7 +10,7 @@ non-participating devices untouched.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dsl.forms import Form, InsideGroup, Master, Parallel

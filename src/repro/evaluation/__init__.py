@@ -3,9 +3,14 @@
 * :mod:`repro.evaluation.config` — experiment configurations (system, node
   count, parallelism axes, reduction axes, NCCL algorithm, payload), including
   the named configurations behind each paper table.
-* :mod:`repro.evaluation.runner` — runs one configuration end to end:
-  placement synthesis, program synthesis, analytic prediction and testbed
-  measurement for every (matrix, program) pair.
+* :mod:`repro.evaluation.scenarios` — scenario grids and named presets
+  (``smoke``, ``paper-table2``, ``gcp-scaleout``, ``payload-ladder``,
+  ``appendix``) that expand topology × shape × workload × payload ×
+  algorithm axes into :class:`~repro.query.PlanQuery` streams.
+* :mod:`repro.evaluation.runner` — routes every scenario's query through a
+  :class:`~repro.query.Planner` (``P2`` or a caching ``PlanningService``),
+  regains per-matrix program results, measures them on the testbed and
+  streams resumable JSONL checkpoints.
 * :mod:`repro.evaluation.accuracy` — top-k predictor accuracy (Table 5).
 * :mod:`repro.evaluation.tables` — row generators for Tables 3, 4, 5 and the
   appendix sweep.
@@ -32,6 +37,14 @@ from repro.evaluation.runner import (
     SweepResult,
     SweepRunner,
 )
+from repro.evaluation.scenarios import (
+    PRESETS,
+    Scenario,
+    ScenarioGrid,
+    preset,
+    preset_names,
+    scenarios_from_configs,
+)
 from repro.evaluation.accuracy import AccuracyReport, top_k_accuracy, accuracy_table
 from repro.evaluation.tables import (
     build_table3,
@@ -54,6 +67,12 @@ __all__ = [
     "ProgramResult",
     "SweepResult",
     "SweepRunner",
+    "PRESETS",
+    "Scenario",
+    "ScenarioGrid",
+    "preset",
+    "preset_names",
+    "scenarios_from_configs",
     "AccuracyReport",
     "top_k_accuracy",
     "accuracy_table",

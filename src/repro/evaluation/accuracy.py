@@ -14,7 +14,7 @@ different model than the analytic predictor (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import EvaluationError
 from repro.evaluation.runner import SweepResult

@@ -24,9 +24,9 @@ bandwidth-dominated regime).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.cost.nccl import NCCLAlgorithm
 from repro.errors import EvaluationError

@@ -12,7 +12,12 @@ from typing import List, Optional, Sequence
 from repro.evaluation.runner import MatrixResult, SweepResult
 from repro.utils.tabulate import format_table
 
-__all__ = ["render_matrix_result", "render_sweep_result", "render_sweep_summary"]
+__all__ = [
+    "render_matrix_result",
+    "render_sweep_result",
+    "render_sweep_summary",
+    "render_provenance_summary",
+]
 
 
 def render_matrix_result(matrix: MatrixResult, max_programs: Optional[int] = 10) -> str:
@@ -70,9 +75,31 @@ def render_sweep_summary(results: Sequence[SweepResult]) -> str:
                 round(best_matrix.speedup_over_all_reduce() or 1.0, 2),
             ]
         )
-    return format_table(
+    table = format_table(
         ["config", "algo", "best matrix", "AllReduce (s)", "optimal (s)", "program", "speedup"],
         rows,
         title="Sweep summary",
         float_fmt="{:.3f}",
+    )
+    return table + "\n" + render_provenance_summary(results)
+
+
+def render_provenance_summary(results: Sequence[SweepResult]) -> str:
+    """Cache-hit ratio and wall-clock split, straight from PlanOutcome provenance.
+
+    The timings are the ones each scenario's :class:`~repro.query.PlanOutcome`
+    recorded (zero for cache hits), not re-derived sums over program results,
+    so the line faithfully reports what the planner actually spent.
+    """
+    if not results:
+        return "no scenarios ran"
+    hits = sum(1 for r in results if r.cache_hit)
+    synthesis = sum(r.synthesis_seconds for r in results)
+    evaluation = sum(r.prediction_seconds for r in results)
+    measurement = sum(r.measurement_seconds for r in results)
+    ratio = hits / len(results)
+    return (
+        f"plan cache: {hits}/{len(results)} hits ({ratio * 100:.0f}%); "
+        f"wall clock: synthesis {synthesis:.2f}s + evaluation {evaluation:.2f}s "
+        f"+ measurement {measurement:.2f}s"
     )

@@ -1,34 +1,56 @@
-"""Sweep runner: executes one experiment configuration end to end.
+"""Sweep runner: drives scenarios through any :class:`~repro.query.Planner`.
 
-For a configuration the runner
+For every scenario the runner
 
-1. enumerates every parallelism matrix (placement synthesis),
-2. synthesizes and lowers every reduction program per matrix,
-3. adds the default AllReduce baseline,
-4. predicts every program's time with the analytic simulator, and
-5. (optionally) measures every program with the flow-level testbed simulator.
+1. builds the scenario's :class:`~repro.query.PlanQuery` and sends it to a
+   planner — a bare :class:`repro.api.P2`, or a
+   :class:`~repro.service.engine.PlanningService` whose cache and worker
+   pool amortize repeated and concurrent sweeps,
+2. regroups the resulting ranked plan into per-matrix program results,
+3. (optionally) measures every program with the flow-level testbed
+   simulator, in ranked order (the order is part of the determinism
+   contract: a cache-warm re-run measures in exactly the same order and
+   therefore reproduces the same noise stream), and
+4. records the :class:`~repro.query.PlanOutcome` provenance — cache tier,
+   fingerprint, synthesis/evaluation split — on the
+   :class:`SweepResult`.
+
+:meth:`SweepRunner.run_stream` streams scenarios to a JSONL file with one
+flushed record per scenario, so long sweeps checkpoint as they go and can be
+resumed (``resume=True`` skips scenarios whose record — matched by name and
+query — is already on disk).
 
 Everything downstream — the paper tables, the accuracy report and the Figure
 11 series — is computed from the resulting :class:`SweepResult` records, so
-running a configuration once is enough to regenerate all artefacts that use
-it.
+running a scenario once is enough to regenerate all artefacts that use it.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.baselines.allreduce import default_all_reduce
 from repro.cost.model import CostModel
-from repro.cost.simulator import ProgramSimulator
-from repro.errors import EvaluationError
+from repro.errors import ReproError
 from repro.evaluation.config import ExperimentConfig
+from repro.evaluation.scenarios import Scenario
 from repro.hierarchy.matrix import ParallelismMatrix
+from repro.query import PlanOutcome, Planner
 from repro.runtime.events import TestbedSimulator
 from repro.runtime.noise import NoiseModel
-from repro.synthesis.pipeline import PlacementCandidate, synthesize_all
+from repro.topology.topology import MachineTopology
 
 __all__ = ["ProgramResult", "MatrixResult", "SweepResult", "SweepRunner"]
 
@@ -109,13 +131,28 @@ class MatrixResult:
 
 @dataclass
 class SweepResult:
-    """Results for every matrix of one experiment configuration."""
+    """Results for every matrix of one scenario, plus planning provenance.
+
+    ``synthesis_seconds`` / ``prediction_seconds`` come straight from the
+    :class:`~repro.query.PlanOutcome` that answered the scenario's query
+    (both are 0.0 on a cache hit); ``cache_tier`` / ``fingerprint`` /
+    ``n_workers`` record how the plan was produced, and
+    ``measurement_seconds`` is the testbed wall clock spent by this run.
+    """
 
     config: ExperimentConfig
     matrices: List[MatrixResult]
     synthesis_seconds: float
     prediction_seconds: float
     measurement_seconds: float
+    cache_tier: Optional[str] = None  # "memory" | "disk" | None (cold)
+    fingerprint: Optional[str] = None
+    planner_seconds: float = 0.0
+    n_workers: int = 1
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache_tier is not None
 
     @property
     def num_matrices(self) -> int:
@@ -141,18 +178,55 @@ class SweepResult:
             return None
         return min(scored)[2]
 
+    def provenance(self) -> Dict[str, object]:
+        """The planning/measurement provenance as one JSON-ready dict."""
+        return {
+            "fingerprint": self.fingerprint,
+            "cache_tier": self.cache_tier,
+            "cache_hit": self.cache_hit,
+            "synthesis_seconds": self.synthesis_seconds,
+            "evaluation_seconds": self.prediction_seconds,
+            "planner_seconds": self.planner_seconds,
+            "measurement_seconds": self.measurement_seconds,
+            "n_workers": self.n_workers,
+        }
+
     def describe(self) -> str:
+        source = self.cache_tier or "cold"
         return (
             f"{self.config.describe()}: {self.num_matrices} matrices, "
             f"{self.total_programs} programs "
-            f"(synthesis {self.synthesis_seconds:.2f}s, prediction {self.prediction_seconds:.2f}s, "
+            f"(plan [{source}]: synthesis {self.synthesis_seconds:.2f}s + "
+            f"evaluation {self.prediction_seconds:.2f}s, "
             f"measurement {self.measurement_seconds:.2f}s)"
         )
 
 
+PlannerFactory = Callable[[MachineTopology], Planner]
+
+
 @dataclass
 class SweepRunner:
-    """Runs experiment configurations and caches nothing (results are returned)."""
+    """Runs scenarios by routing their queries through a :class:`Planner`.
+
+    Parameters
+    ----------
+    planner_factory:
+        Builds the planner for each distinct topology of a sweep.  ``None``
+        uses a bare :class:`repro.api.P2` (direct computation).  Pass a
+        factory returning a :class:`~repro.service.engine.PlanningService`
+        to make sweeps cache-amortized (re-runs and duplicate shapes become
+        fingerprint lookups) and parallel (the service's worker pool).
+        Planners are built once per topology and reused across scenarios;
+        :meth:`close` releases any that need releasing.
+    measure_programs / measurement_runs / noise_seed:
+        Testbed measurement of every ranked program (the planner only
+        predicts).  Measurement happens in ranked order so that cold and
+        cache-warm runs consume the seeded noise stream identically.
+    validate_lowering / node_limit:
+        Honoured by the default (direct P²) planner; a custom
+        ``planner_factory`` applies its own pipeline settings.
+    """
 
     cost_model: CostModel = field(default_factory=CostModel)
     noise_seed: int = 0
@@ -160,109 +234,212 @@ class SweepRunner:
     measure_programs: bool = True
     validate_lowering: bool = True
     node_limit: int = 500_000
+    planner_factory: Optional[PlannerFactory] = None
+    _planners: Dict[str, Planner] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------ #
-    def run(self, config: ExperimentConfig) -> SweepResult:
-        """Run one configuration end to end."""
-        topology = config.topology()
-        axes = config.parallelism()
-        request = config.request()
-        bytes_per_device = config.bytes_per_device
+    # Planner management
+    # ------------------------------------------------------------------ #
+    def planner_for(self, scenario: Scenario) -> Planner:
+        """The (cached) planner answering this scenario's topology."""
+        key = scenario.topology_key()
+        if key not in self._planners:
+            topology = scenario.topology()
+            if self.planner_factory is not None:
+                self._planners[key] = self.planner_factory(topology)
+            else:
+                from repro.api import P2
 
-        synthesis_start = time.perf_counter()
-        candidates = synthesize_all(
-            topology.hierarchy,
-            axes,
-            request,
-            max_program_size=config.max_program_size,
-            node_limit=self.node_limit,
-            validate=self.validate_lowering,
+                self._planners[key] = P2(
+                    topology,
+                    cost_model=self.cost_model,
+                    validate_lowering=self.validate_lowering,
+                    node_limit=self.node_limit,
+                )
+        return self._planners[key]
+
+    def close(self) -> None:
+        """Release every planner that has a ``close`` (service worker pools)."""
+        for planner in self._planners.values():
+            close = getattr(planner, "close", None)
+            if callable(close):
+                close()
+        self._planners.clear()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def run(self, config_or_scenario: Union[ExperimentConfig, Scenario]) -> SweepResult:
+        """Run one scenario (or bare config) end to end."""
+        scenario = (
+            config_or_scenario
+            if isinstance(config_or_scenario, Scenario)
+            else Scenario(config=config_or_scenario)
         )
-        synthesis_seconds = time.perf_counter() - synthesis_start
+        planner = self.planner_for(scenario)
+        outcome = planner.plan(scenario.query())
+        return self.result_from_outcome(scenario, outcome)
 
-        simulator = ProgramSimulator(topology, self.cost_model)
-        testbed = TestbedSimulator(topology, NoiseModel(seed=self.noise_seed))
+    def run_many(
+        self, configs: Sequence[Union[ExperimentConfig, Scenario]]
+    ) -> List[SweepResult]:
+        return [self.run(config) for config in configs]
 
-        prediction_seconds = 0.0
-        measurement_seconds = 0.0
-        matrices: List[MatrixResult] = []
-        for candidate in candidates:
-            matrix_result, predict_dt, measure_dt = self._evaluate_candidate(
-                candidate, config, simulator, testbed, bytes_per_device
+    def run_stream(
+        self,
+        scenarios: Sequence[Scenario],
+        out_path: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        on_record: Optional[Callable[[Dict], None]] = None,
+    ) -> List[SweepResult]:
+        """Run scenarios, streaming one JSONL record per scenario.
+
+        Each record (see :func:`repro.analysis.serialization.result_to_record`)
+        is appended and flushed as soon as its scenario finishes, so the file
+        is a valid checkpoint at every moment.  With ``resume=True``,
+        scenarios whose record is already present — matched by scenario name
+        *and* canonical query, so a changed grid recomputes — are loaded from
+        the file instead of recomputed.  Results are returned in scenario
+        order either way, and ``on_record`` sees every record (restored or
+        fresh) in that order.
+        """
+        from repro.analysis.serialization import (
+            iter_jsonl_records,
+            result_from_record,
+            result_to_record,
+        )
+
+        done: Dict[str, Dict] = {}
+        path = Path(out_path) if out_path is not None else None
+        if path is not None and resume and path.exists():
+            for record in iter_jsonl_records(path):
+                done[record.get("scenario", "")] = record  # last record wins
+
+        results: List[SweepResult] = []
+        handle = None
+        try:
+            if path is not None:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                handle = open(path, "a" if resume else "w")
+                if resume and handle.tell() > 0:
+                    # A torn trailing line (killed mid-write) must not swallow
+                    # the first superseding record we append after it.
+                    with open(path, "rb") as tail:
+                        tail.seek(-1, 2)
+                        if tail.read(1) != b"\n":
+                            handle.write("\n")
+            for scenario in scenarios:
+                query_dict = scenario.query().to_dict()
+                record = done.get(scenario.name)
+                restored = None
+                if record is not None and record.get("query") == query_dict:
+                    try:
+                        restored = result_from_record(record)
+                    except (ReproError, KeyError, TypeError, ValueError):
+                        restored = None  # stale/foreign record: recompute
+                if restored is not None:
+                    results.append(restored)
+                else:
+                    result = self.run(scenario)
+                    record = result_to_record(result, query=query_dict)
+                    results.append(result)
+                    if handle is not None:
+                        handle.write(json.dumps(record, sort_keys=True) + "\n")
+                        handle.flush()
+                if on_record is not None:
+                    on_record(record)
+        finally:
+            if handle is not None:
+                handle.close()
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Outcome -> SweepResult
+    # ------------------------------------------------------------------ #
+    def result_from_outcome(
+        self, scenario: Scenario, outcome: PlanOutcome
+    ) -> SweepResult:
+        """Regroup a ranked :class:`PlanOutcome` into per-matrix results.
+
+        Matrices keep the plan's candidate order; programs within a matrix
+        keep the ranking order.  Measurement consumes the shared seeded
+        noise stream in ranking order, which is identical for a cold and a
+        cache-warm plan — so warm re-runs reproduce cold measurements
+        exactly.
+        """
+        config = scenario.config
+        plan = outcome.plan
+        measure_start = time.perf_counter()
+        measured_by_strategy: List[Optional[float]] = []
+        if self.measure_programs:
+            testbed = TestbedSimulator(
+                scenario.topology(), NoiseModel(seed=self.noise_seed)
             )
-            prediction_seconds += predict_dt
-            measurement_seconds += measure_dt
-            matrices.append(matrix_result)
+            for strategy in plan.strategies:
+                if strategy.program.num_steps == 0:
+                    measured_by_strategy.append(0.0)
+                    continue
+                measured_by_strategy.append(
+                    testbed.measure(
+                        strategy.program,
+                        config.bytes_per_device,
+                        config.algorithm,
+                        num_runs=self.measurement_runs,
+                    ).total_seconds
+                )
+        else:
+            measured_by_strategy = [
+                0.0 if strategy.program.num_steps == 0 else None
+                for strategy in plan.strategies
+            ]
+        measurement_seconds = time.perf_counter() - measure_start
 
+        programs_by_candidate: Dict[int, List[ProgramResult]] = {}
+        for strategy, measured in zip(plan.strategies, measured_by_strategy):
+            label = (
+                "AllReduce (default)"
+                if strategy.is_default_all_reduce
+                else strategy.program.label
+            )
+            size = (
+                strategy.size
+                if strategy.size is not None
+                else strategy.program.num_steps
+            )
+            programs_by_candidate.setdefault(id(strategy.candidate), []).append(
+                ProgramResult(
+                    label=label,
+                    mnemonic=strategy.mnemonic,
+                    size=size,
+                    num_steps=strategy.program.num_steps,
+                    predicted_seconds=strategy.predicted_seconds,
+                    measured_seconds=measured,
+                    is_default_all_reduce=strategy.is_default_all_reduce,
+                )
+            )
+
+        matrices = [
+            MatrixResult(
+                matrix=candidate.matrix,
+                programs=programs_by_candidate.get(id(candidate), []),
+                synthesis_seconds=candidate.synthesis_seconds,
+            )
+            for candidate in plan.candidates
+        ]
         return SweepResult(
             config=config,
             matrices=matrices,
-            synthesis_seconds=synthesis_seconds,
-            prediction_seconds=prediction_seconds,
+            synthesis_seconds=outcome.synthesis_seconds,
+            prediction_seconds=outcome.evaluation_seconds,
             measurement_seconds=measurement_seconds,
+            cache_tier=outcome.cache_tier,
+            fingerprint=outcome.fingerprint,
+            planner_seconds=outcome.total_seconds,
+            n_workers=outcome.n_workers,
         )
-
-    def run_many(self, configs: List[ExperimentConfig]) -> List[SweepResult]:
-        return [self.run(config) for config in configs]
-
-    # ------------------------------------------------------------------ #
-    def _evaluate_candidate(
-        self,
-        candidate: PlacementCandidate,
-        config: ExperimentConfig,
-        simulator: ProgramSimulator,
-        testbed: TestbedSimulator,
-        bytes_per_device: int,
-    ) -> Tuple[MatrixResult, float, float]:
-        request = config.request()
-        algorithm = config.algorithm
-        programs: List[ProgramResult] = []
-
-        # The default baseline, lowered straight from the reduction groups.
-        baseline = default_all_reduce(candidate.placement, request)
-        entries = [("AllReduce (default)", "AR", 1, baseline, True)]
-        for program in candidate.programs:
-            if program.is_default_all_reduce:
-                # Identical to the baseline entry above; skip the duplicate.
-                continue
-            entries.append(
-                (program.lowered.label, program.mnemonic, program.size, program.lowered, False)
-            )
-
-        predict_dt = 0.0
-        measure_dt = 0.0
-        for label, mnemonic, size, lowered, is_default in entries:
-            if lowered.num_steps == 0:
-                # Nothing to communicate (singleton reduction groups).
-                programs.append(
-                    ProgramResult(label, mnemonic, size, 0, 0.0, 0.0, is_default)
-                )
-                continue
-            start = time.perf_counter()
-            predicted = simulator.simulate(lowered, bytes_per_device, algorithm).total_seconds
-            predict_dt += time.perf_counter() - start
-            measured: Optional[float] = None
-            if self.measure_programs:
-                start = time.perf_counter()
-                measured = testbed.measure(
-                    lowered, bytes_per_device, algorithm, num_runs=self.measurement_runs
-                ).total_seconds
-                measure_dt += time.perf_counter() - start
-            programs.append(
-                ProgramResult(
-                    label=label,
-                    mnemonic=mnemonic,
-                    size=size,
-                    num_steps=lowered.num_steps,
-                    predicted_seconds=predicted,
-                    measured_seconds=measured,
-                    is_default_all_reduce=is_default,
-                )
-            )
-
-        matrix_result = MatrixResult(
-            matrix=candidate.matrix,
-            programs=programs,
-            synthesis_seconds=candidate.synthesis_seconds,
-        )
-        return matrix_result, predict_dt, measure_dt

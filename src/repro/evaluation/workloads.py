@@ -16,8 +16,8 @@ returns the end-to-end step time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.errors import EvaluationError
 

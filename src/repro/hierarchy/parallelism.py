@@ -11,7 +11,7 @@ any hardware hierarchy; they are combined with one by a parallelism matrix
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence, Tuple
 
 from repro.errors import HierarchyError

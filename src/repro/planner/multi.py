@@ -19,7 +19,7 @@ and the selection of a mapping should take all of them into account".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.baselines.allreduce import default_all_reduce
 from repro.cost.model import CostModel

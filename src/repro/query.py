@@ -299,16 +299,14 @@ class PlanOutcome:
     def num_strategies(self) -> int:
         return len(self.plan.strategies)
 
-    def to_dict(self) -> Dict[str, Any]:
-        """JSON-serializable form: query + plan + provenance.
+    def provenance(self) -> Dict[str, Any]:
+        """How this outcome was produced, as one JSON-ready dict.
 
-        ``speedup_over_default`` is ``None`` when it is infinite (a zero-cost
-        best strategy) so the encoding stays strict JSON.
+        Consumers that persist outcomes next to other data (the sweep
+        engine's JSONL records, monitoring hooks) embed exactly this dict
+        rather than re-deriving timings from the plan.
         """
-        speedup = self.plan.speedup_over_default()
         return {
-            "query": self.query.to_dict(),
-            "plan": self.plan.to_dict(),
             "fingerprint": self.fingerprint,
             "cache_tier": self.cache_tier,
             "cache_hit": self.cache_hit,
@@ -316,10 +314,24 @@ class PlanOutcome:
             "evaluation_seconds": self.evaluation_seconds,
             "total_seconds": self.total_seconds,
             "n_workers": self.n_workers,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form: query + plan + provenance.
+
+        ``speedup_over_default`` is ``None`` when it is infinite (a zero-cost
+        best strategy) so the encoding stays strict JSON.
+        """
+        speedup = self.plan.speedup_over_default()
+        data = {
+            "query": self.query.to_dict(),
+            "plan": self.plan.to_dict(),
             "num_candidates": self.num_candidates,
             "num_strategies": self.num_strategies,
             "speedup_over_default": speedup if speedup != float("inf") else None,
         }
+        data.update(self.provenance())
+        return data
 
     def describe(self) -> str:
         source = self.cache_tier or "cold"

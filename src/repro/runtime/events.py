@@ -32,9 +32,8 @@ from repro.errors import ReproError
 from repro.runtime.noise import NoiseModel
 from repro.semantics.collectives import Collective, apply_collective
 from repro.semantics.goals import initial_context
-from repro.semantics.state import DeviceState, StateContext
-from repro.synthesis.lowering import LoweredProgram, LoweredStep
-from repro.topology.links import LinkKind
+from repro.semantics.state import DeviceState
+from repro.synthesis.lowering import LoweredProgram
 from repro.topology.topology import MachineTopology
 
 __all__ = ["Flow", "FlowNetwork", "MeasurementResult", "TestbedSimulator"]

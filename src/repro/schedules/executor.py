@@ -16,7 +16,7 @@ drive synthesis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.errors import RuntimeExecutionError
 from repro.runtime.cluster import SimCluster

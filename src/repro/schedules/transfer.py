@@ -13,7 +13,7 @@ global chunk ranges the devices actually hold.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import ReproError
 from repro.semantics.collectives import Collective

@@ -14,7 +14,7 @@ value objects; "updating" a context returns a new one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 import numpy as np
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.api import OptimizationPlan, compute_plan
 from repro.cost.model import CostModel
@@ -212,6 +212,16 @@ class PlanningService:
         self.requests_served += 1
         return outcome
 
+    def plan_stream(self, queries: Iterable[PlanQuery]) -> Iterator[PlanOutcome]:
+        """Answer queries lazily: one outcome yielded as each query finishes.
+
+        Streaming front ends (JSONL emitters, the sweep engine) consume this
+        instead of :meth:`plan_many` so results flush incrementally and an
+        interrupted run still leaves every completed outcome delivered.
+        """
+        for query in queries:
+            yield self.plan(query)
+
     def plan_many(self, queries: Sequence[PlanQuery]) -> List[PlanOutcome]:
         """Answer a batch of queries, computing each distinct query once.
 
@@ -221,7 +231,7 @@ class PlanningService:
         outcome reports how *its* lookup was served, so a duplicate of a
         cold query shows up as a memory hit.
         """
-        return [self.plan(query) for query in queries]
+        return list(self.plan_stream(queries))
 
     # ------------------------------------------------------------------ #
     # Legacy single-request / batch API (pre-PlanQuery shims)

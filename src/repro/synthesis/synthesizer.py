@@ -16,8 +16,8 @@ levels in hierarchies like ``[1 2 1 2]`` do not blow up the search.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.dsl.grouping import Groups, enumerate_instructions
 from repro.dsl.program import ReductionInstruction, ReductionProgram

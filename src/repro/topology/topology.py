@@ -20,11 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import TopologyError
 from repro.hierarchy.levels import SystemHierarchy
-from repro.topology.links import LinkKind, LinkSpec
+from repro.topology.links import LinkSpec
 
 __all__ = ["MachineTopology"]
 

@@ -117,8 +117,101 @@ class TestMain:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "Sweep summary" in captured.out
+        assert "plan cache:" in captured.out
         assert target.exists()
         assert len(load_results(target)) > 0
+
+    def test_sweep_preset_json_emits_jsonl(self, capsys):
+        import json
+
+        exit_code = main(["sweep", "--preset", "smoke", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert len(lines) == 3  # the smoke preset's stable scenario count
+        for line in lines:
+            record = json.loads(line)
+            assert record["scenario"].startswith("smoke-")
+            assert record["matrices"]
+            assert record["provenance"]["fingerprint"]
+
+    def test_sweep_preset_out_and_resume(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "smoke.jsonl"
+        assert main(["sweep", "--preset", "smoke", "--out", str(out)]) == 0
+        capsys.readouterr()
+        cold_lines = out.read_text().splitlines()
+        assert len(cold_lines) == 3
+
+        # Drop the last record and resume: only the missing scenario reruns.
+        out.write_text("\n".join(cold_lines[:2]) + "\n")
+        assert main(
+            ["sweep", "--preset", "smoke", "--out", str(out), "--resume"]
+        ) == 0
+        capsys.readouterr()
+        resumed = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [r["scenario"] for r in resumed] == [
+            json.loads(line)["scenario"] for line in cold_lines
+        ]
+
+    def test_sweep_resume_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--preset", "smoke", "--resume"])
+
+    def test_sweep_grid_file(self, capsys, tmp_path):
+        import json
+
+        from repro.evaluation.scenarios import ScenarioGrid
+
+        grid = ScenarioGrid(
+            name="clig",
+            shapes=((8, 4),),
+            payload_scales=(0.002,),
+            max_program_size=3,
+        )
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(json.dumps(grid.to_dict()))
+        exit_code = main(["sweep", "--grid", str(grid_path), "--quick", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        records = [json.loads(line) for line in captured.out.splitlines() if line.strip()]
+        assert [r["scenario"] for r in records] == ["clig-a100-2n-8x4-r0-s0p002-ring"]
+
+    def test_sweep_cache_dir_makes_second_run_warm(self, capsys, tmp_path):
+        import json
+
+        argv = [
+            "sweep", "--preset", "smoke", "--json",
+            "--cache-dir", str(tmp_path / "plans"),
+        ]
+        assert main(argv) == 0
+        first = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line.strip()]
+        assert main(argv) == 0
+        second = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line.strip()]
+        assert all(r["provenance"]["cache_tier"] is None for r in first)
+        assert all(r["provenance"]["cache_tier"] == "disk" for r in second)
+
+    def test_sweep_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--preset", "warp-speed"])
+
+    def test_sweep_explicit_payload_scale_overrides_preset_default(self, capsys):
+        import json
+
+        exit_code = main(
+            ["sweep", "--preset", "smoke", "--json", "--payload-scale", "0.004"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        records = [json.loads(line) for line in captured.out.splitlines() if line.strip()]
+        assert {r["config"]["payload_scale"] for r in records} == {0.004}
+        # An explicit 1.0 must also win over the preset's 0.002 default.
+        args = build_parser().parse_args(
+            ["sweep", "--preset", "smoke", "--payload-scale", "1.0"]
+        )
+        assert args.payload_scale == 1.0
+        assert build_parser().parse_args(["sweep", "--preset", "smoke"]).payload_scale is None
 
     def test_optimize_with_search_limits(self, capsys):
         exit_code = main(

@@ -7,7 +7,6 @@ import pytest
 from repro.baselines.allreduce import default_all_reduce
 from repro.baselines.blueconnect import blueconnect
 from repro.cost.contention import analyze_step_contention
-from repro.cost.model import CostModel
 from repro.cost.nccl import NCCLAlgorithm
 from repro.cost.simulator import ProgramSimulator, simulate_program
 from repro.errors import CostModelError

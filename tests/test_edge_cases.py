@@ -8,7 +8,6 @@ sweep serialization, and report rendering corner cases.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import results_from_json, results_to_json
 from repro.baselines.allreduce import default_all_reduce
@@ -25,7 +24,6 @@ from repro.semantics.collectives import Collective
 from repro.synthesis.hierarchy import HierarchyVariant, build_synthesis_hierarchy
 from repro.synthesis.lowering import LoweredStep, lower_synthesized
 from repro.synthesis.synthesizer import synthesize_programs
-from repro.topology.gcp import figure2a_system
 
 MB = 1 << 20
 

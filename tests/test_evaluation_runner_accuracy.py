@@ -11,7 +11,6 @@ import pytest
 from repro.cost.nccl import NCCLAlgorithm
 from repro.errors import EvaluationError
 from repro.evaluation.accuracy import (
-    AccuracyReport,
     accuracy_table,
     rank_of_measured_best,
     top_k_accuracy,

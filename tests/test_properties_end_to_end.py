@@ -8,7 +8,6 @@ testbed simulator with sane relationships between the results.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

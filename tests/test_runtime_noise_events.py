@@ -6,7 +6,6 @@ import pytest
 
 from repro.baselines.allreduce import default_all_reduce
 from repro.baselines.blueconnect import blueconnect
-from repro.cost.nccl import NCCLAlgorithm
 from repro.errors import ReproError
 from repro.hierarchy.matrix import enumerate_parallelism_matrices
 from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest

@@ -8,7 +8,6 @@ import subprocess
 import sys
 from dataclasses import replace
 
-import pytest
 
 from repro.cost.model import CostModel
 from repro.cost.nccl import NCCLAlgorithm

@@ -7,7 +7,7 @@ import pytest
 from repro.errors import TopologyError
 from repro.hierarchy.levels import SystemHierarchy
 from repro.topology.builders import flat_system, hierarchical_system
-from repro.topology.gcp import a100_system, figure2a_system, v100_system
+from repro.topology.gcp import a100_system, v100_system
 from repro.topology.links import (
     DCN_NIC_8GBS,
     GB,
