@@ -168,6 +168,8 @@ def results_from_json(text: str) -> List[SweepResult]:
                 fingerprint=provenance.get("fingerprint"),
                 planner_seconds=provenance.get("planner_seconds", 0.0),
                 n_workers=provenance.get("n_workers", 1),
+                profile_hits=provenance.get("profile_hits", 0),
+                profile_misses=provenance.get("profile_misses", 0),
             )
         )
     return results
@@ -214,6 +216,8 @@ def result_from_record(data: Dict) -> SweepResult:
         fingerprint=provenance.get("fingerprint"),
         planner_seconds=provenance.get("planner_seconds", 0.0),
         n_workers=provenance.get("n_workers", 1),
+        profile_hits=provenance.get("profile_hits", 0),
+        profile_misses=provenance.get("profile_misses", 0),
     )
 
 

@@ -309,6 +309,13 @@ class OptimizationPlan:
         )
 
 
+def _profile_counters(simulator: Optional[ProgramSimulator]) -> Tuple[int, int]:
+    """(hits, misses) of a simulator's profile cache; zeros when there is none."""
+    if simulator is None:
+        return 0, 0
+    return simulator.profile_hits, simulator.profile_misses
+
+
 @dataclass(frozen=True)
 class StrategyEntry:
     """One (candidate, lowered program) pair awaiting cost evaluation.
@@ -352,15 +359,37 @@ def evaluate_entries_serial(
     cost_model: CostModel,
     bytes_per_device: int,
     algorithm: NCCLAlgorithm,
+    simulator: Optional[ProgramSimulator] = None,
 ) -> List[float]:
-    """Predicted seconds per entry, computed in-process (zero-step programs are free)."""
-    simulator = ProgramSimulator(topology, cost_model)
-    return [
-        0.0
-        if entry.lowered.num_steps == 0
-        else simulator.simulate(entry.lowered, bytes_per_device, algorithm).total_seconds
-        for entry in entries
-    ]
+    """Predicted seconds per entry, computed in-process (zero-step programs are free).
+
+    Entries whose lowered programs share a :meth:`LoweredProgram.signature`
+    are simulated once — the signature is the communication pattern, so the
+    predicted time is the same float either way.  Pass a ``simulator`` bound
+    to the same topology and cost model to reuse its compiled-profile cache
+    across calls (e.g. across a payload ladder); otherwise a fresh one is
+    used and its cache is discarded with it.
+    """
+    if simulator is None:
+        simulator = ProgramSimulator(topology, cost_model)
+    predicted = [0.0] * len(entries)
+    first_with_signature: Dict[Tuple, int] = {}
+    for i, entry in enumerate(entries):
+        if entry.lowered.num_steps == 0:
+            continue
+        # num_devices is part of the key: signature() only records the
+        # groups, but chunk fractions depend on the device count, and a
+        # mismatched program must still reach simulate() to be rejected.
+        signature = (entry.lowered.num_devices, entry.lowered.signature())
+        duplicate_of = first_with_signature.get(signature)
+        if duplicate_of is not None:
+            predicted[i] = predicted[duplicate_of]
+            continue
+        first_with_signature[signature] = i
+        predicted[i] = simulator.simulate(
+            entry.lowered, bytes_per_device, algorithm
+        ).total_seconds
+    return predicted
 
 
 def compute_plan(
@@ -375,16 +404,19 @@ def compute_plan(
     evaluator=None,
     node_limit: int = 500_000,
     validate: bool = True,
+    simulator: Optional[ProgramSimulator] = None,
 ) -> Tuple["OptimizationPlan", float, float]:
     """The cold-path pipeline shared by :meth:`P2.optimize` and the service.
 
     Synthesizes all candidates, evaluates them (through ``evaluator`` — any
     object with an ``evaluate(programs, bytes_per_device, algorithm)`` method,
     e.g. a :class:`~repro.service.parallel.ParallelEvaluator` — or serially
-    when ``None``) and ranks them.  Keeping this in one place is what makes
-    the service's fingerprint-keyed cache sound: both entry points compute
-    plans from the same inputs the same way.  Returns the plan plus the
-    synthesis and evaluation wall-clock seconds.
+    when ``None``, optionally on a caller-owned ``simulator`` whose
+    compiled-profile cache then persists across calls) and ranks them.
+    Keeping this in one place is what makes the service's fingerprint-keyed
+    cache sound: both entry points compute plans from the same inputs the
+    same way.  Returns the plan plus the synthesis and evaluation wall-clock
+    seconds.
     """
     synth_start = time.perf_counter()
     candidates = synthesize_all(
@@ -406,7 +438,7 @@ def compute_plan(
         )
     else:
         predicted = evaluate_entries_serial(
-            entries, topology, cost_model, bytes_per_device, algorithm
+            entries, topology, cost_model, bytes_per_device, algorithm, simulator
         )
     evaluation_seconds = time.perf_counter() - eval_start
 
@@ -470,6 +502,31 @@ class P2:
     noise_seed: int = 0
     validate_lowering: bool = True
     node_limit: int = 500_000
+    _simulator: Optional[ProgramSimulator] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def simulator(self) -> ProgramSimulator:
+        """This tool's simulator, created lazily and kept for the tool's life.
+
+        Sharing one simulator across :meth:`plan` calls is what makes payload
+        ladders cheap: the compiled-profile cache keyed by program signature
+        survives between queries, so re-pricing a known program at a new
+        payload skips semantics and contention analysis entirely.  If the
+        tool's ``topology`` or ``cost_model`` fields are reassigned, the
+        simulator (and its cache) is rebuilt so predictions never come from
+        stale bindings.
+        """
+        simulator = self._simulator
+        if (
+            simulator is None
+            or simulator.topology != self.topology
+            or simulator.cost_model != self.cost_model
+        ):
+            simulator = ProgramSimulator(self.topology, self.cost_model)
+            self._simulator = simulator
+        return simulator
 
     # ------------------------------------------------------------------ #
     def plan(
@@ -523,6 +580,7 @@ class P2:
             from repro.service.parallel import ParallelEvaluator
 
             with ParallelEvaluator(self.topology, self.cost_model, n_workers) as pool:
+                hits_before, misses_before = pool.profile_counters()
                 plan, synthesis_seconds, evaluation_seconds = compute_plan(
                     self.topology,
                     self.cost_model,
@@ -536,7 +594,17 @@ class P2:
                     node_limit=self.node_limit,
                     validate=self.validate_lowering,
                 )
+                hits_after, misses_after = pool.profile_counters()
         else:
+            # Both the external-evaluator path and the serial path account
+            # profile-cache traffic on the simulator that actually priced the
+            # candidates (the evaluator's own, or this tool's shared one).
+            simulator = (
+                getattr(evaluator, "simulator", None)
+                if evaluator is not None
+                else self.simulator
+            )
+            hits_before, misses_before = _profile_counters(simulator)
             plan, synthesis_seconds, evaluation_seconds = compute_plan(
                 self.topology,
                 self.cost_model,
@@ -549,7 +617,9 @@ class P2:
                 evaluator=evaluator,
                 node_limit=self.node_limit,
                 validate=self.validate_lowering,
+                simulator=None if evaluator is not None else simulator,
             )
+            hits_after, misses_after = _profile_counters(simulator)
         if evaluator is not None:
             workers = getattr(evaluator, "n_workers", 1)
         elif n_workers is not None and n_workers > 1:
@@ -565,6 +635,8 @@ class P2:
             fingerprint=plan_query_fingerprint(self.topology, query, self.cost_model),
             cache_tier=None,
             n_workers=workers,
+            profile_hits=hits_after - hits_before,
+            profile_misses=misses_after - misses_before,
         )
 
     def plan_many(
@@ -639,8 +711,9 @@ class P2:
                 "this strategy records no originating payload; pass "
                 "bytes_per_device explicitly to simulate it"
             )
-        simulator = ProgramSimulator(self.topology, self.cost_model)
-        return simulator.simulate(strategy.program, payload, algorithm)
+        # The shared simulator: a strategy that came out of this tool's own
+        # planning run re-prices its cached profile instead of recompiling.
+        return self.simulator.simulate(strategy.program, payload, algorithm)
 
     def measure(
         self,

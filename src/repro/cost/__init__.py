@@ -10,13 +10,18 @@ a :class:`~repro.topology.topology.MachineTopology`:
   intra-node traffic).
 * :mod:`repro.cost.model` — the tunable constants (launch overheads, algorithm
   choice) bundled as a :class:`CostModel`.
+* :mod:`repro.cost.profile` — the payload-independent part of a simulation
+  (semantics + contention) compiled once per program into a
+  :class:`SimulationProfile`, priceable for any payload in closed form.
 * :mod:`repro.cost.simulator` — drives the Hoare semantics step by step to
-  track per-device payload sizes and sums the per-step times.
+  track per-device payload sizes and sums the per-step times; answers
+  repeat simulations by pricing cached profiles.
 """
 
 from repro.cost.nccl import NCCLAlgorithm, collective_time
 from repro.cost.model import CostModel
 from repro.cost.contention import StepContention, analyze_step_contention
+from repro.cost.profile import SimulationProfile, compile_profile, price_profile
 from repro.cost.simulator import ProgramSimulator, SimulationResult, simulate_program
 
 __all__ = [
@@ -25,6 +30,9 @@ __all__ = [
     "CostModel",
     "StepContention",
     "analyze_step_contention",
+    "SimulationProfile",
+    "compile_profile",
+    "price_profile",
     "ProgramSimulator",
     "SimulationResult",
     "simulate_program",

@@ -103,11 +103,16 @@ def analyze_step_contention(
             sharing = max(nic_load[i] for i in touched) / topology.nics_per_instance
             sharing = max(sharing, 1.0)
             # Cross-node traffic may additionally traverse a host (PCIe) link;
-            # the effective bandwidth is the minimum of the two, which we fold
-            # in by scaling the sharing factor.
+            # when that link is slower than the NIC fabric, the effective
+            # bandwidth is capped at the host link's, which we fold in by
+            # scaling the sharing factor: link.bandwidth / sharing then equals
+            # host.bandwidth / nic_sharing.  The scale factor is > 1 and
+            # sharing >= 1, so this always *raises* sharing — the historical
+            # ``max(sharing, ratio * sharing)`` here was a no-op wrapper
+            # around exactly this product.
             host = topology.host_link
             if host is not None and host.bandwidth < link.bandwidth:
-                sharing = max(sharing, link.bandwidth / host.bandwidth * sharing)
+                sharing = (link.bandwidth / host.bandwidth) * sharing
         else:
             if link.kind.is_shared_medium:
                 instance = topology.instance_of(group[0], topology.nic_level)

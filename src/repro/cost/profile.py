@@ -1,0 +1,270 @@
+"""Compiled simulation profiles: pay semantics/contention once, price in closed form.
+
+Simulating a lowered program (:mod:`repro.cost.simulator`) does two very
+different kinds of work:
+
+* **payload-independent analysis** — running the Hoare semantics to learn the
+  fraction of the payload each device holds before every step, and the link
+  contention analysis that assigns every group a bottleneck link and sharing
+  factor.  This depends only on the program and the machine topology.
+* **payload-dependent pricing** — the alpha-beta arithmetic that turns a
+  (payload, algorithm, cost model) triple into seconds.
+
+The planner evaluates hundreds of candidate programs per query and sweeps
+re-evaluate the same programs across whole payload ladders, so redoing the
+analysis for every payload is the dominant waste in the hot path.  A
+:class:`SimulationProfile` is the analysis phase made explicit: it is compiled
+once per ``LoweredProgram`` x ``MachineTopology`` and can then be priced for
+any ``(bytes_per_device, algorithm, cost_model)`` in ``O(steps x classes)``
+with zero semantics work.
+
+Within one lowered step all groups are replicas of a single virtual grouping
+swept over the free digits, so their per-group analysis collapses onto a
+handful of **equivalence classes** keyed by ``(group size, span level,
+sharing factor, chunk fraction)`` — everything the pricing arithmetic reads.
+The profile stores, per step, just those classes (in first-occurrence order)
+plus the step-level attributes of the breakdown.
+
+The contract, enforced by ``tests/test_cost_profile.py``: pricing a profile
+is **bit-identical** to :meth:`ProgramSimulator.simulate_reference` — the same
+float operations in the same order (the per-group max collapses to a per-class
+max over identical floats; the sum over steps is unchanged), so
+``predicted_seconds`` match to the last ulp and rankings can never shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cost.contention import analyze_step_contention
+from repro.cost.model import CostModel
+from repro.cost.nccl import NCCLAlgorithm
+from repro.errors import CostModelError
+from repro.semantics.collectives import Collective, apply_collective
+from repro.semantics.goals import initial_context
+from repro.semantics.state import DeviceState
+from repro.synthesis.lowering import LoweredProgram
+from repro.topology.topology import MachineTopology
+
+__all__ = [
+    "ProfileClass",
+    "StepProfile",
+    "SimulationProfile",
+    "compile_profile",
+    "price_profile",
+]
+
+
+@dataclass(frozen=True)
+class ProfileClass:
+    """One group equivalence class of a step: everything pricing needs.
+
+    ``effective_bandwidth`` is the contended bandwidth
+    (``link.bandwidth / sharing``) precomputed at compile time with exactly
+    the float operations the per-group simulator used, so pricing reproduces
+    its arithmetic bit for bit.  ``count`` records how many concurrent groups
+    collapsed into this class (introspection only — the step time is a max,
+    so pricing never multiplies by it).
+    """
+
+    group_size: int
+    span_level: int
+    chunk_fraction: float
+    sharing: float
+    link_name: str
+    link_latency: float
+    effective_bandwidth: float
+    count: int
+
+
+@dataclass(frozen=True)
+class StepProfile:
+    """The payload-independent analysis of one lowered step."""
+
+    collective: Collective
+    num_groups: int
+    group_size: int
+    max_sharing: float
+    classes: Tuple[ProfileClass, ...]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+
+@dataclass(frozen=True)
+class SimulationProfile:
+    """A lowered program compiled against one topology, ready to price.
+
+    Profiles are small (a handful of classes per step rather than one record
+    per group), cheap to pickle — the worker pool ships profiles instead of
+    re-deriving them per task — and payload/algorithm/cost-model independent,
+    so one compilation serves a whole payload ladder under both NCCL
+    algorithms.
+    """
+
+    num_devices: int
+    label: str
+    steps: Tuple[StepProfile, ...]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def num_classes(self) -> int:
+        """Total pricing work per payload (the sum of per-step class counts)."""
+        return sum(step.num_classes for step in self.steps)
+
+    @property
+    def num_groups(self) -> int:
+        """Total per-group work the compilation paid (and pricing avoids)."""
+        return sum(step.num_groups for step in self.steps)
+
+    def price(
+        self,
+        bytes_per_device: float,
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+        cost_model: Optional[CostModel] = None,
+    ):
+        """Convenience method; see :func:`price_profile`."""
+        return price_profile(self, bytes_per_device, algorithm, cost_model)
+
+    def describe(self) -> str:
+        steps = "; ".join(
+            f"{s.collective}x{s.num_groups}->{s.num_classes} class(es)"
+            for s in self.steps
+        )
+        return f"{self.label or 'profile'}: {steps}"
+
+
+def compile_profile(
+    program: LoweredProgram, topology: MachineTopology
+) -> SimulationProfile:
+    """Run semantics and contention analysis once; return the priceable profile.
+
+    Raises the same errors eager simulation would: a device-count mismatch is
+    a :class:`~repro.errors.CostModelError`, and a semantically invalid step
+    raises :class:`~repro.errors.InvalidCollectiveError` from the Hoare rules.
+    """
+    if program.num_devices != topology.num_devices:
+        raise CostModelError(
+            f"program is over {program.num_devices} devices but the topology has "
+            f"{topology.num_devices}"
+        )
+
+    context = initial_context(program.num_devices)
+    step_profiles: List[StepProfile] = []
+    for step in program.steps:
+        contention = analyze_step_contention(step, topology)
+        # Insertion order keeps the classes in first-occurrence order, which
+        # is what makes the pricing max pick the same bottleneck group the
+        # per-group loop would (see price_profile).
+        classes: Dict[Tuple[int, int, float, float], List] = {}
+        updates: Dict[int, DeviceState] = {}
+        for group, cost in zip(step.groups, contention.groups):
+            pre_states = [context[d] for d in group]
+            fraction = max(s.chunk_fraction() for s in pre_states)
+            key = (len(group), cost.span_level, cost.sharing, fraction)
+            entry = classes.get(key)
+            if entry is None:
+                classes[key] = [cost, fraction, 1]
+            else:
+                entry[2] += 1
+            post_states = apply_collective(step.collective, pre_states)
+            for device, state in zip(group, post_states):
+                updates[device] = state
+        context = context.replace(updates)
+        step_profiles.append(
+            StepProfile(
+                collective=step.collective,
+                num_groups=step.num_groups,
+                group_size=step.group_size,
+                max_sharing=contention.max_sharing,
+                classes=tuple(
+                    ProfileClass(
+                        group_size=key[0],
+                        span_level=key[1],
+                        chunk_fraction=fraction,
+                        sharing=cost.sharing,
+                        link_name=cost.link.name,
+                        link_latency=cost.link.latency,
+                        effective_bandwidth=cost.effective_bandwidth,
+                        count=count,
+                    )
+                    for key, (cost, fraction, count) in classes.items()
+                ),
+            )
+        )
+    return SimulationProfile(
+        num_devices=program.num_devices, label=program.label, steps=tuple(step_profiles)
+    )
+
+
+def price_profile(
+    profile: SimulationProfile,
+    bytes_per_device: float,
+    algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+    cost_model: Optional[CostModel] = None,
+    label: Optional[str] = None,
+):
+    """Price a compiled profile: the closed-form ``O(steps x classes)`` loop.
+
+    Bit-identical to the per-group reference simulation: within a class every
+    group prices to the same float, so the max over classes equals the max
+    over groups, and iterating classes in first-occurrence order with a strict
+    ``>`` selects the same bottleneck (link, payload) the group loop's strict
+    ``>`` would.  ``label`` overrides the profile's own label (used when a
+    cached profile answers for a program that shares its signature).
+    """
+    from repro.cost.simulator import SimulationResult, StepSimulation
+
+    if bytes_per_device < 0:
+        raise CostModelError("bytes_per_device must be non-negative")
+    model = cost_model if cost_model is not None else CostModel()
+
+    steps: List[StepSimulation] = []
+    total = 0.0
+    for step in profile.steps:
+        # A lowered step always has at least one group (LoweredStep enforces
+        # it), so the fallback bottleneck is the first group's link: it is
+        # reported, with the 0.0 payload it was priced at, exactly when every
+        # class prices to 0.0 seconds (zero payload under a zero-overhead
+        # cost model on zero-latency links) and the strict ``>`` never fires.
+        worst_seconds = 0.0
+        worst_link = step.classes[0].link_name if step.classes else "-"
+        worst_payload = 0.0
+        for cls in step.classes:
+            payload = cls.chunk_fraction * bytes_per_device
+            seconds = model.group_time(
+                op=step.collective,
+                algorithm=algorithm,
+                group_size=cls.group_size,
+                payload_bytes=payload,
+                bandwidth=cls.effective_bandwidth,
+                link_latency=cls.link_latency,
+            )
+            if seconds > worst_seconds:
+                worst_seconds = seconds
+                worst_link = cls.link_name
+                worst_payload = payload
+        steps.append(
+            StepSimulation(
+                collective=step.collective,
+                num_groups=step.num_groups,
+                group_size=step.group_size,
+                seconds=worst_seconds,
+                bottleneck_link=worst_link,
+                max_sharing=step.max_sharing,
+                payload_bytes=worst_payload,
+            )
+        )
+        total += worst_seconds
+    return SimulationResult(
+        total_seconds=total,
+        steps=tuple(steps),
+        algorithm=algorithm,
+        bytes_per_device=bytes_per_device,
+        label=profile.label if label is None else label,
+    )

@@ -12,18 +12,29 @@ the simulator
    taking the step time as the maximum over its concurrent groups and the
    program time as the sum over steps.
 
+Steps 1 and 2 are payload-independent, so :class:`ProgramSimulator` performs
+them once per program by compiling a :class:`~repro.cost.profile.SimulationProfile`
+(cached in an LRU keyed by :meth:`LoweredProgram.signature`) and answering
+every ``simulate`` call by *pricing* the profile — a closed-form loop over
+group equivalence classes.  The priced result is bit-identical to the
+original per-group evaluation, which remains available as
+:meth:`ProgramSimulator.simulate_reference` and serves as the executable
+specification the profile is property-tested against.
+
 The result object keeps the per-step breakdown so the evaluation harness and
 the examples can explain *why* a strategy wins.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cost.contention import analyze_step_contention
 from repro.cost.model import CostModel
 from repro.cost.nccl import NCCLAlgorithm
+from repro.cost.profile import SimulationProfile, compile_profile, price_profile
 from repro.errors import CostModelError
 from repro.semantics.collectives import Collective, apply_collective
 from repro.semantics.goals import initial_context
@@ -75,10 +86,26 @@ class SimulationResult:
 
 @dataclass
 class ProgramSimulator:
-    """Reusable simulator bound to one topology and one cost model."""
+    """Reusable simulator bound to one topology and one cost model.
+
+    The simulator keeps an LRU cache of compiled
+    :class:`~repro.cost.profile.SimulationProfile` objects keyed by
+    :meth:`LoweredProgram.signature`, so re-simulating a known communication
+    pattern — the same program at another payload, under the other NCCL
+    algorithm, or a signature-identical candidate from a different placement —
+    skips semantics and contention analysis entirely.  ``profile_hits`` /
+    ``profile_misses`` count cache outcomes; they feed the planning
+    provenance surfaced by ``sweep --json``.
+    """
 
     topology: MachineTopology
     cost_model: CostModel = field(default_factory=CostModel)
+    profile_cache_size: int = 4096
+    profile_hits: int = field(default=0, init=False, repr=False, compare=False)
+    profile_misses: int = field(default=0, init=False, repr=False, compare=False)
+    _profiles: "OrderedDict[Tuple, SimulationProfile]" = field(
+        default_factory=OrderedDict, init=False, repr=False, compare=False
+    )
 
     def simulate(
         self,
@@ -86,15 +113,78 @@ class ProgramSimulator:
         bytes_per_device: float,
         algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
     ) -> SimulationResult:
-        """Predict the end-to-end time of ``program``."""
-        if bytes_per_device < 0:
-            raise CostModelError("bytes_per_device must be non-negative")
-        if program.num_devices != self.topology.num_devices:
-            raise CostModelError(
-                f"program is over {program.num_devices} devices but the topology has "
-                f"{self.topology.num_devices}"
-            )
+        """Predict the end-to-end time of ``program`` (profile fast path)."""
+        self._validate(program, bytes_per_device)
+        profile = self.profile_for(program)
+        return price_profile(
+            profile, bytes_per_device, algorithm, self.cost_model, label=program.label
+        )
 
+    def profile_for(self, program: LoweredProgram) -> SimulationProfile:
+        """The compiled profile of ``program``, from the LRU cache when known."""
+        key = program.signature()
+        cached = self._profiles.get(key)
+        if cached is not None:
+            self.profile_hits += 1
+            self._profiles.move_to_end(key)
+            return cached
+        self.profile_misses += 1
+        profile = compile_profile(program, self.topology)
+        self._profiles[key] = profile
+        if len(self._profiles) > self.profile_cache_size:
+            self._profiles.popitem(last=False)
+        return profile
+
+    def cached_profile(self, program: LoweredProgram) -> Optional[SimulationProfile]:
+        """The cached profile for ``program``, or ``None`` (counts as a hit only).
+
+        A miss is *not* counted here: callers that compile elsewhere (e.g. a
+        worker pool compiling in parallel) record it via :meth:`adopt_profile`
+        so hits + misses always equals the number of distinct signatures
+        priced, matching the serial path's accounting.
+        """
+        key = program.signature()
+        cached = self._profiles.get(key)
+        if cached is not None:
+            self.profile_hits += 1
+            self._profiles.move_to_end(key)
+        return cached
+
+    def adopt_profile(
+        self, program: LoweredProgram, profile: SimulationProfile
+    ) -> None:
+        """Insert a profile compiled elsewhere (counted as one miss/compile)."""
+        self.profile_misses += 1
+        self._profiles[program.signature()] = profile
+        if len(self._profiles) > self.profile_cache_size:
+            self._profiles.popitem(last=False)
+
+    @property
+    def cached_profiles(self) -> int:
+        return len(self._profiles)
+
+    def clear_profiles(self) -> None:
+        """Drop every cached profile (counters are left running)."""
+        self._profiles.clear()
+
+    # ------------------------------------------------------------------ #
+    # Reference implementation (the executable specification)
+    # ------------------------------------------------------------------ #
+    def simulate_reference(
+        self,
+        program: LoweredProgram,
+        bytes_per_device: float,
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+    ) -> SimulationResult:
+        """The original per-group evaluation, kept as the specification.
+
+        Profile pricing (:meth:`simulate`) must stay bit-identical to this
+        method — ``tests/test_cost_profile.py`` asserts exact float equality
+        across payload ladders and both NCCL algorithms.  New cost-model
+        features land here first and must be mirrored into
+        :mod:`repro.cost.profile` under the same contract.
+        """
+        self._validate(program, bytes_per_device)
         context = initial_context(program.num_devices)
         steps: List[StepSimulation] = []
         total = 0.0
@@ -115,6 +205,15 @@ class ProgramSimulator:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _validate(self, program: LoweredProgram, bytes_per_device: float) -> None:
+        if bytes_per_device < 0:
+            raise CostModelError("bytes_per_device must be non-negative")
+        if program.num_devices != self.topology.num_devices:
+            raise CostModelError(
+                f"program is over {program.num_devices} devices but the topology has "
+                f"{self.topology.num_devices}"
+            )
+
     def _simulate_step(
         self,
         step: LoweredStep,
@@ -124,6 +223,11 @@ class ProgramSimulator:
     ) -> Tuple[StepSimulation, StateContext]:
         contention = analyze_step_contention(step, self.topology)
 
+        # A lowered step always has at least one group (LoweredStep enforces
+        # it), so the fallback bottleneck is the first group's link: it is
+        # reported, with the 0.0 payload it was priced at, exactly when every
+        # group prices to 0.0 seconds (zero payload under a zero-overhead
+        # cost model on zero-latency links) and the strict ``>`` never fires.
         worst_seconds = 0.0
         worst_link = contention.groups[0].link.name if contention.groups else "-"
         worst_payload = 0.0

@@ -97,9 +97,12 @@ def render_provenance_summary(results: Sequence[SweepResult]) -> str:
     synthesis = sum(r.synthesis_seconds for r in results)
     evaluation = sum(r.prediction_seconds for r in results)
     measurement = sum(r.measurement_seconds for r in results)
+    profile_hits = sum(r.profile_hits for r in results)
+    profile_misses = sum(r.profile_misses for r in results)
     ratio = hits / len(results)
     return (
         f"plan cache: {hits}/{len(results)} hits ({ratio * 100:.0f}%); "
+        f"simulation profiles: {profile_hits} repriced / {profile_misses} compiled; "
         f"wall clock: synthesis {synthesis:.2f}s + evaluation {evaluation:.2f}s "
         f"+ measurement {measurement:.2f}s"
     )

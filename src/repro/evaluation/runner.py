@@ -138,6 +138,11 @@ class SweepResult:
     (both are 0.0 on a cache hit); ``cache_tier`` / ``fingerprint`` /
     ``n_workers`` record how the plan was produced, and
     ``measurement_seconds`` is the testbed wall clock spent by this run.
+    ``profile_hits`` / ``profile_misses`` count how many candidate
+    simulations were answered by re-pricing a cached
+    :class:`~repro.cost.profile.SimulationProfile`: because the runner keeps
+    one planner (hence one simulator and one profile cache) per topology,
+    later rungs of a payload ladder should be almost all hits.
     """
 
     config: ExperimentConfig
@@ -149,6 +154,8 @@ class SweepResult:
     fingerprint: Optional[str] = None
     planner_seconds: float = 0.0
     n_workers: int = 1
+    profile_hits: int = 0
+    profile_misses: int = 0
 
     @property
     def cache_hit(self) -> bool:
@@ -189,6 +196,8 @@ class SweepResult:
             "planner_seconds": self.planner_seconds,
             "measurement_seconds": self.measurement_seconds,
             "n_workers": self.n_workers,
+            "profile_hits": self.profile_hits,
+            "profile_misses": self.profile_misses,
         }
 
     def describe(self) -> str:
@@ -217,8 +226,12 @@ class SweepRunner:
         factory returning a :class:`~repro.service.engine.PlanningService`
         to make sweeps cache-amortized (re-runs and duplicate shapes become
         fingerprint lookups) and parallel (the service's worker pool).
-        Planners are built once per topology and reused across scenarios;
-        :meth:`close` releases any that need releasing.
+        Planners are built once per topology and reused across scenarios —
+        which also reuses one :class:`~repro.cost.simulator.ProgramSimulator`
+        (hence one compiled-profile cache) across a scenario's payload
+        ladder, so only the first rung pays semantics/contention analysis;
+        the resulting ``profile_hits`` land in each result's provenance.
+        :meth:`close` releases any planners that need releasing.
     measure_programs / measurement_runs / noise_seed:
         Testbed measurement of every ranked program (the planner only
         predicts).  Measurement happens in ranked order so that cold and
@@ -442,4 +455,6 @@ class SweepRunner:
             fingerprint=outcome.fingerprint,
             planner_seconds=outcome.total_seconds,
             n_workers=outcome.n_workers,
+            profile_hits=outcome.profile_hits,
+            profile_misses=outcome.profile_misses,
         )

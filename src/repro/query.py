@@ -272,6 +272,11 @@ class PlanOutcome:
     :func:`repro.api.compute_plan` measures (zero on a cache hit);
     ``fingerprint``/``cache_tier``/``n_workers`` record provenance so callers
     can monitor hit rates and latency without instrumenting the pipeline.
+    ``profile_hits``/``profile_misses`` count the simulator's compiled-profile
+    cache traffic while evaluating this query (zero on a plan-cache hit):
+    hits are candidate simulations answered by re-pricing an already compiled
+    :class:`~repro.cost.profile.SimulationProfile` instead of re-running
+    semantics and contention analysis.
     """
 
     query: PlanQuery
@@ -282,6 +287,8 @@ class PlanOutcome:
     fingerprint: Optional[str] = None
     cache_tier: Optional[str] = None  # "memory" | "disk" | None (cold)
     n_workers: int = 1
+    profile_hits: int = 0
+    profile_misses: int = 0
 
     @property
     def cache_hit(self) -> bool:
@@ -314,6 +321,8 @@ class PlanOutcome:
             "evaluation_seconds": self.evaluation_seconds,
             "total_seconds": self.total_seconds,
             "n_workers": self.n_workers,
+            "profile_hits": self.profile_hits,
+            "profile_misses": self.profile_misses,
         }
 
     def to_dict(self) -> Dict[str, Any]:

@@ -33,6 +33,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.api import OptimizationPlan, compute_plan
 from repro.cost.model import CostModel
+from repro.cost.simulator import ProgramSimulator
 from repro.cost.nccl import NCCLAlgorithm
 from repro.errors import ReproError, ServiceError
 from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
@@ -152,6 +153,10 @@ class PlanningService:
         self.cache = cache if cache is not None else PlanCache()
         self.n_workers = max(1, n_workers or 1)
         self._evaluator: Optional[ParallelEvaluator] = None
+        # One simulator for the serial cold path: its compiled-profile cache
+        # (keyed by program signature) persists across requests, so a payload
+        # ladder over one shape re-prices profiles instead of re-simulating.
+        self._simulator = ProgramSimulator(topology, self.cost_model)
         self.requests_served = 0
 
     # ------------------------------------------------------------------ #
@@ -187,6 +192,11 @@ class PlanningService:
             )
         else:
             evaluator = self._ensure_evaluator() if self.n_workers > 1 else None
+            pricing_simulator = (
+                evaluator.simulator if evaluator is not None else self._simulator
+            )
+            hits_before = pricing_simulator.profile_hits
+            misses_before = pricing_simulator.profile_misses
             plan, synthesis_seconds, evaluation_seconds = compute_plan(
                 self.topology,
                 self.cost_model,
@@ -197,6 +207,7 @@ class PlanningService:
                 max_program_size=query.max_program_size,
                 max_matrices=query.max_matrices,
                 evaluator=evaluator,
+                simulator=None if evaluator is not None else self._simulator,
             )
             outcome = PlanOutcome(
                 query=query,
@@ -206,6 +217,8 @@ class PlanningService:
                 fingerprint=fingerprint,
                 cache_tier=None,
                 n_workers=self.n_workers,
+                profile_hits=pricing_simulator.profile_hits - hits_before,
+                profile_misses=pricing_simulator.profile_misses - misses_before,
             )
             self.cache.put(fingerprint, plan.to_dict())
         outcome.total_seconds = time.perf_counter() - start

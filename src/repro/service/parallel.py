@@ -2,17 +2,26 @@
 
 Ranking a plan means simulating every (placement, strategy) candidate — an
 embarrassingly parallel workload once synthesis has produced the lowered
-programs.  :class:`ParallelEvaluator` fans the simulations out over a
+programs.  :class:`ParallelEvaluator` fans the pricing out over a
 ``concurrent.futures.ProcessPoolExecutor`` and returns the predicted times
 *in submission order*, so the caller's ranking (a stable sort over those
-times) is identical to the serial path's: the workers run the very same
-:class:`~repro.cost.simulator.ProgramSimulator` arithmetic, and result order
-is preserved by index.
+times) is identical to the serial path's.
 
-The topology and cost model are shipped to each worker once (pool
-initializer) rather than per task; tasks carry only the lowered program and
-the payload.  Zero-step programs are priced at 0.0 inline, matching the
-serial path, and never cross the process boundary.
+The division of labour follows the compile/price split of
+:mod:`repro.cost.profile`.  For a signature the parent's profile cache
+already knows, the task ships the compiled
+:class:`~repro.cost.profile.SimulationProfile` — a handful of equivalence
+classes per step, far smaller than the program's full group lists — and the
+worker runs only the closed-form pricing loop.  For a cold signature the
+task ships the program: the worker compiles it (so cold-path semantics and
+contention analysis parallelize across the pool, exactly like the
+pre-profile code) *and returns the profile* alongside the price, which the
+parent adopts into its cache — the next payload over the same program ships
+a profile instead.  No signature is ever compiled twice per evaluator, and
+both task kinds run the very same :func:`~repro.cost.profile.price_profile`
+arithmetic as the serial path, so results are bit-identical.  Zero-step
+programs are priced at 0.0 inline and duplicate signatures are priced once,
+matching the serial path, and never cross the process boundary.
 
 With ``n_workers=1`` (or a single evaluatable program) everything runs
 inline in the calling process — same results, no pool overhead — which is
@@ -23,10 +32,11 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cost.model import CostModel
 from repro.cost.nccl import NCCLAlgorithm
+from repro.cost.profile import SimulationProfile, price_profile
 from repro.cost.simulator import ProgramSimulator
 from repro.errors import ServiceError
 from repro.synthesis.lowering import LoweredProgram
@@ -47,17 +57,35 @@ def _init_worker(topology: MachineTopology, cost_model: CostModel) -> None:
     _WORKER_SIMULATOR = ProgramSimulator(topology, cost_model)
 
 
-def _simulate_task(
-    task: Tuple[int, LoweredProgram, float, NCCLAlgorithm]
-) -> Tuple[int, float]:
-    index, program, bytes_per_device, algorithm = task
+def _evaluate_task(
+    task: Tuple[int, Optional[LoweredProgram], Optional[SimulationProfile], float, NCCLAlgorithm]
+) -> Tuple[int, float, Optional[SimulationProfile]]:
+    """Price one candidate; compile it first when no profile was shipped.
+
+    Returns the compiled profile only when this worker did the compilation,
+    so the parent can adopt it (a profile that came *in* goes back as None).
+    """
+    index, program, profile, bytes_per_device, algorithm = task
     assert _WORKER_SIMULATOR is not None, "worker pool was not initialized"
-    result = _WORKER_SIMULATOR.simulate(program, bytes_per_device, algorithm)
-    return index, result.total_seconds
+    if profile is not None:
+        result = price_profile(
+            profile, bytes_per_device, algorithm, _WORKER_SIMULATOR.cost_model
+        )
+        return index, result.total_seconds, None
+    compiled = _WORKER_SIMULATOR.profile_for(program)
+    result = price_profile(
+        compiled, bytes_per_device, algorithm, _WORKER_SIMULATOR.cost_model
+    )
+    return index, result.total_seconds, compiled
 
 
 class ParallelEvaluator:
-    """Reusable process-pool evaluator bound to one topology and cost model."""
+    """Reusable process-pool evaluator bound to one topology and cost model.
+
+    ``simulator`` is the parent-side :class:`ProgramSimulator` that compiles
+    and caches profiles across :meth:`evaluate` calls; its ``profile_hits``
+    counter is what planning provenance reports for pool-evaluated queries.
+    """
 
     def __init__(
         self,
@@ -70,7 +98,12 @@ class ParallelEvaluator:
         self.topology = topology
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.n_workers = n_workers if n_workers is not None else default_worker_count()
+        self.simulator = ProgramSimulator(topology, self.cost_model)
         self._executor: Optional[ProcessPoolExecutor] = None
+
+    def profile_counters(self) -> Tuple[int, int]:
+        """(hits, misses) of the parent-side compiled-profile cache."""
+        return self.simulator.profile_hits, self.simulator.profile_misses
 
     # ------------------------------------------------------------------ #
     def evaluate(
@@ -81,21 +114,54 @@ class ParallelEvaluator:
     ) -> List[float]:
         """Predicted seconds for each program, in input order."""
         predicted = [0.0] * len(programs)
-        tasks = [
-            (i, program, bytes_per_device, algorithm)
-            for i, program in enumerate(programs)
-            if program.num_steps > 0
-        ]
-        if self.n_workers <= 1 or len(tasks) <= 1:
-            simulator = ProgramSimulator(self.topology, self.cost_model)
-            for i, program, payload, algo in tasks:
-                predicted[i] = simulator.simulate(program, payload, algo).total_seconds
-            return predicted
+        # One pricing task per distinct (device count, signature); duplicates
+        # copy the result.  num_devices is part of the key because
+        # signature() only records the groups, and a program whose device
+        # count does not match the topology must reach the simulator (or
+        # compile_profile) to be rejected rather than ride a copy.
+        first_with_signature: Dict[Tuple, int] = {}
+        duplicates: List[Tuple[int, int]] = []
+        unique_indices: List[int] = []
+        for i, program in enumerate(programs):
+            if program.num_steps == 0:
+                continue
+            signature = (program.num_devices, program.signature())
+            first = first_with_signature.get(signature)
+            if first is not None:
+                duplicates.append((i, first))
+                continue
+            first_with_signature[signature] = i
+            unique_indices.append(i)
 
-        executor = self._ensure_executor()
-        chunksize = max(1, len(tasks) // (self.n_workers * 4))
-        for index, seconds in executor.map(_simulate_task, tasks, chunksize=chunksize):
-            predicted[index] = seconds
+        if self.n_workers <= 1 or len(unique_indices) <= 1:
+            for i in unique_indices:
+                predicted[i] = self.simulator.simulate(
+                    programs[i], bytes_per_device, algorithm
+                ).total_seconds
+        else:
+            tasks = []
+            for i in unique_indices:
+                profile = self.simulator.cached_profile(programs[i])
+                tasks.append(
+                    (
+                        i,
+                        None if profile is not None else programs[i],
+                        profile,
+                        bytes_per_device,
+                        algorithm,
+                    )
+                )
+            executor = self._ensure_executor()
+            chunksize = max(1, len(tasks) // (self.n_workers * 4))
+            for index, seconds, compiled in executor.map(
+                _evaluate_task, tasks, chunksize=chunksize
+            ):
+                predicted[index] = seconds
+                if compiled is not None:
+                    self.simulator.adopt_profile(programs[index], compiled)
+
+        for i, first in duplicates:
+            predicted[i] = predicted[first]
         return predicted
 
     # ------------------------------------------------------------------ #

@@ -18,9 +18,9 @@ it to count how many concurrent groups share each NIC.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, fields
 from functools import cached_property
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import TopologyError
 from repro.hierarchy.levels import SystemHierarchy
@@ -39,6 +39,22 @@ class MachineTopology:
     nic_level: int = 0
     nics_per_instance: int = 1
     host_link: Optional[LinkSpec] = None
+    # Memo tables for the group-oriented queries below.  The cost model asks
+    # the same questions about the same groups once per step of every
+    # candidate program, so these pure functions of the (frozen) hierarchy
+    # are cached per instance.  compare=False keeps them out of __eq__ and
+    # the generated __hash__; __getstate__ keeps them out of pickles (the
+    # worker pool ships topologies once per pool); each table is flushed at
+    # _MEMO_LIMIT entries so a long-lived topology cannot grow unboundedly.
+    _span_levels: Dict[Tuple[int, ...], int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _instances: Dict[Tuple[int, int], Tuple[int, ...]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _nic_instances: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], ...]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.interconnects) != self.hierarchy.num_levels:
@@ -80,10 +96,15 @@ class MachineTopology:
         """
         if len(devices) < 2:
             raise TopologyError("span_level needs at least two devices")
+        key = tuple(devices)
+        cached = self._span_levels.get(key)
+        if cached is not None:
+            return cached
         lca = self.hierarchy.lowest_common_level(devices)
         span = lca + 1
         if span >= self.num_levels:  # pragma: no cover - defensive; lca < leaf for >=2 devices
             raise TopologyError("devices do not diverge at any level")
+        self._memoize(self._span_levels, key, span)
         return span
 
     def link_for_group(self, devices: Sequence[int]) -> LinkSpec:
@@ -103,14 +124,31 @@ class MachineTopology:
 
     def nic_instances_touched(self, devices: Sequence[int]) -> Tuple[Tuple[int, ...], ...]:
         """The NIC-owning instances (identified by their coordinates) this group touches."""
-        instances = {
-            self.hierarchy.ancestor_instance(d, self.nic_level) for d in devices
-        }
-        return tuple(sorted(instances))
+        key = tuple(devices)
+        cached = self._nic_instances.get(key)
+        if cached is not None:
+            return cached
+        instances = {self.instance_of(d, self.nic_level) for d in devices}
+        result = tuple(sorted(instances))
+        self._memoize(self._nic_instances, key, result)
+        return result
 
     def instance_of(self, device: int, level: int) -> Tuple[int, ...]:
         """Coordinates of ``device``'s ancestor instance at ``level``."""
-        return self.hierarchy.ancestor_instance(device, level)
+        key = (device, level)
+        cached = self._instances.get(key)
+        if cached is None:
+            cached = self.hierarchy.ancestor_instance(device, level)
+            self._memoize(self._instances, key, cached)
+        return cached
+
+    _MEMO_LIMIT = 1 << 16
+
+    @staticmethod
+    def _memoize(table: Dict, key, value) -> None:
+        if len(table) >= MachineTopology._MEMO_LIMIT:
+            table.clear()  # flush rather than grow without bound
+        table[key] = value
 
     @cached_property
     def devices_per_nic_instance(self) -> int:
@@ -118,6 +156,26 @@ class MachineTopology:
         for level in range(self.nic_level + 1, self.num_levels):
             per *= self.hierarchy.cardinalities[level]
         return per
+
+    # ------------------------------------------------------------------ #
+    # Pickling — memo tables are per-process working state, not identity;
+    # shipping a topology to a worker pool must not drag them (or any
+    # cached_property value) along.
+    # ------------------------------------------------------------------ #
+    _MEMO_FIELDS = ("_span_levels", "_instances", "_nic_instances")
+
+    def __getstate__(self):
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in self._MEMO_FIELDS
+        }
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        for name in self._MEMO_FIELDS:
+            object.__setattr__(self, name, {})
 
     # ------------------------------------------------------------------ #
     # Presentation

@@ -13,10 +13,13 @@ from repro.errors import CostModelError
 from repro.hierarchy.matrix import enumerate_parallelism_matrices
 from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
 from repro.hierarchy.placement import DevicePlacement
+from repro.hierarchy.levels import SystemHierarchy
 from repro.semantics.collectives import Collective
 from repro.synthesis.hierarchy import build_synthesis_hierarchy
 from repro.synthesis.lowering import LoweredProgram, LoweredStep
 from repro.topology.gcp import a100_system, v100_system
+from repro.topology.links import LinkKind, LinkSpec
+from repro.topology.topology import MachineTopology
 
 GIB = float(1 << 30)
 
@@ -60,6 +63,46 @@ class TestContention:
         contention = analyze_step_contention(step, v100_2node)
         # The NIC (8 GB/s) is slower than PCIe (32 GB/s) so no extra penalty.
         assert contention.groups[0].effective_bandwidth <= 8e9
+
+    def slow_host_topology(self) -> MachineTopology:
+        """A fast NIC fabric (32 GB/s) behind a slow host link (8 GB/s)."""
+        return MachineTopology(
+            name="fast-nic-slow-host",
+            hierarchy=SystemHierarchy.from_pairs([("node", 2), ("gpu", 4)]),
+            interconnects=(
+                LinkSpec("fast-nic", LinkKind.NIC, bandwidth=32e9, latency=5e-6),
+                LinkSpec("nvswitch", LinkKind.NVSWITCH, bandwidth=270e9, latency=2e-6),
+            ),
+            host_link=LinkSpec("slow-pcie", LinkKind.PCIE, bandwidth=8e9, latency=2e-6),
+        )
+
+    def test_slow_host_link_fold_pins_effective_bandwidth(self):
+        """Regression pin for the host-link fold (historically a dead ``max``).
+
+        With a host link slower than the NIC fabric, the sharing factor is
+        *scaled* by the bandwidth ratio — never a ``max`` against it — so the
+        effective bandwidth comes out as host.bandwidth / nic_sharing.  The
+        old ``max(sharing, ratio * sharing)`` wrote the same fold obscurely
+        (ratio > 1 makes the max a no-op); this pins the chosen semantics.
+        """
+        topology = self.slow_host_topology()
+        # One cross-node group: nic sharing 1, capped at the host link rate.
+        single = analyze_step_contention(
+            LoweredStep(Collective.ALL_REDUCE, ((0, 4),)), topology
+        )
+        assert single.groups[0].sharing == pytest.approx(32e9 / 8e9)
+        assert single.groups[0].effective_bandwidth == pytest.approx(8e9)
+        # Four concurrent cross-node groups: NIC shared 4 ways *and* capped,
+        # i.e. host.bandwidth / 4 — the penalties compose multiplicatively.
+        quad = analyze_step_contention(
+            LoweredStep(
+                Collective.ALL_REDUCE, tuple((i, i + 4) for i in range(4))
+            ),
+            topology,
+        )
+        for group in quad.groups:
+            assert group.sharing == pytest.approx(4.0 * 32e9 / 8e9)
+            assert group.effective_bandwidth == pytest.approx(8e9 / 4.0)
 
     def test_describe(self, a100_2node):
         step = LoweredStep(Collective.ALL_REDUCE, ((0, 16),))

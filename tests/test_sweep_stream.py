@@ -216,6 +216,110 @@ class TestRecordRoundtrip:
             result_from_record({"format_version": 99})
 
 
+class TestProfileFastPathInvariance:
+    """The compiled-profile fast path must not move a single measurement.
+
+    Predicted times are bit-identical to the per-group reference simulation,
+    so the ranked order — and therefore the order in which measurement
+    consumes the seeded noise stream — cannot shift.  This pins it end to
+    end: a sweep planned through the reference path and one planned through
+    the default (profile) path must rank identically and draw identical
+    measured times from the noise stream.
+    """
+
+    @staticmethod
+    def _reference_planner(topology):
+        """A P2 that prices every candidate with the per-group reference loop."""
+        from repro.api import P2
+        from repro.cost.model import CostModel
+        from repro.cost.simulator import ProgramSimulator
+
+        class ReferenceEvaluator:
+            n_workers = 1
+
+            def __init__(self, topology, cost_model):
+                self._simulator = ProgramSimulator(topology, cost_model)
+
+            def evaluate(self, programs, bytes_per_device, algorithm):
+                return [
+                    0.0
+                    if program.num_steps == 0
+                    else self._simulator.simulate_reference(
+                        program, bytes_per_device, algorithm
+                    ).total_seconds
+                    for program in programs
+                ]
+
+        class ReferenceP2(P2):
+            def plan(self, query, **kwargs):
+                kwargs.setdefault(
+                    "evaluator", ReferenceEvaluator(self.topology, self.cost_model)
+                )
+                return super().plan(query, **kwargs)
+
+        return ReferenceP2(topology, cost_model=CostModel())
+
+    def test_ranked_order_and_noise_stream_identical_to_reference(
+        self, smoke_scenarios
+    ):
+        scenario = smoke_scenarios[0]
+        fast_runner = SweepRunner(measure_programs=True, measurement_runs=1)
+        reference_runner = SweepRunner(
+            measure_programs=True,
+            measurement_runs=1,
+            planner_factory=self._reference_planner,
+        )
+        fast = fast_runner.run(scenario)
+        reference = reference_runner.run(scenario)
+
+        fast_programs = [p for _, p in fast.iter_programs()]
+        reference_programs = [p for _, p in reference.iter_programs()]
+        # Same ranked order (mnemonics in sequence) ...
+        assert [p.mnemonic for p in fast_programs] == [
+            p.mnemonic for p in reference_programs
+        ]
+        # ... the same predictions to the last ulp (== on floats, no approx) ...
+        assert [p.predicted_seconds for p in fast_programs] == [
+            p.predicted_seconds for p in reference_programs
+        ]
+        # ... and identical noise-stream consumption: every measured time of
+        # the seeded testbed matches exactly, program by program.
+        assert [p.measured_seconds for p in fast_programs] == [
+            p.measured_seconds for p in reference_programs
+        ]
+
+    def test_payload_ladder_reprices_profiles_and_surfaces_counters(
+        self, smoke_scenarios
+    ):
+        import dataclasses
+
+        base = smoke_scenarios[0]
+        ladder = [base] + [
+            dataclasses.replace(
+                base,
+                config=dataclasses.replace(
+                    base.config,
+                    name=f"{base.config.name}-rung{i}",
+                    payload_scale=base.config.payload_scale / (2.0**i),
+                ),
+            )
+            for i in (1, 2, 3)
+        ]
+        runner = _runner()
+        results = runner.run_many(ladder)
+        first, rest = results[0], results[1:]
+        # The runner keeps one planner (one simulator, one profile cache) per
+        # topology: the first rung compiles every profile, later rungs of the
+        # ladder re-price them without a single new compilation.
+        assert first.profile_misses > 0 and first.profile_hits == 0
+        for result in rest:
+            assert result.profile_misses == 0
+            assert result.profile_hits == first.profile_misses
+            provenance = result.provenance()
+            assert provenance["profile_hits"] == result.profile_hits
+            assert provenance["profile_misses"] == result.profile_misses
+
+
 class TestReportProvenance:
     def test_summary_surfaces_cache_hit_ratio_and_split(self, smoke_scenarios, tmp_path):
         with _service_runner(tmp_path) as runner:
