@@ -1,0 +1,152 @@
+"""Benchmark S3 — budgeted branch-and-bound search vs exhaustive enumeration.
+
+The streaming search driver's reason to exist: considering *fewer*
+candidates, not just pricing them faster.  This benchmark runs the appendix
+grid's 4-node data-parallel rows (both GCP systems, both NCCL algorithms —
+the workload family whose winners surface early in enumeration order) twice:
+
+* **exhaustive** — the full collect-evaluate-rank spine, every placement
+  synthesized and every strategy priced;
+* **budgeted + pruned** — ``PlanQuery.max_candidates`` caps consideration,
+  which makes the synthesis source iterate program sizes lazily (the deepest
+  iterative-deepening pass is never run for placements the budget cuts) and
+  turns on lossless lower-bound pruning against the incumbent.
+
+The acceptance bar: the budgeted run is at least 3x faster *and* returns the
+bit-identical best strategy (cost and program signature) for every scenario.
+The ``considered`` counter is structural (min(budget, entries) per scenario)
+and gates exactly in the committed baseline; the speedup is asserted here,
+not gated, because the two timings move together on a shared machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.api import P2
+from repro.evaluation.config import appendix_configs
+from repro.evaluation.scenarios import scenarios_from_configs
+from repro.utils.tabulate import format_table
+
+SPEEDUP_BAR = 3.0
+CANDIDATE_BUDGET = 24
+
+
+def _scenarios(payload_scale: float):
+    configs = [
+        config
+        for config in appendix_configs(payload_scale)
+        if config.reduction_axes == (0,) and config.num_nodes == 4
+    ]
+    return scenarios_from_configs(configs)
+
+
+def _plan(scenario, query):
+    # A fresh tool per plan: neither side may warm the other's profile cache.
+    tool = P2(scenario.topology(), max_program_size=query.max_program_size)
+    start = time.perf_counter()
+    outcome = tool.plan(query)
+    return outcome, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="search-pruning")
+def test_budgeted_search_beats_exhaustive_with_same_winner(
+    benchmark, save_artifact, bench_json, payload_scale
+):
+    scenarios = _scenarios(payload_scale)
+    assert scenarios, "the appendix grid lost its 4-node data-parallel rows"
+
+    def both_sweeps():
+        rows = []
+        exhaustive_total = budgeted_total = 0.0
+        considered = bound_rejected = winners_matched = 0
+        for scenario in scenarios:
+            exhaustive, exhaustive_seconds = _plan(scenario, scenario.query())
+            budgeted_query = dataclasses.replace(
+                scenario.query(), max_candidates=CANDIDATE_BUDGET
+            )
+            budgeted, budgeted_seconds = _plan(scenario, budgeted_query)
+            exhaustive_total += exhaustive_seconds
+            budgeted_total += budgeted_seconds
+            considered += budgeted.search["considered"]
+            bound_rejected += budgeted.search["bound_rejected"]
+            same_winner = (
+                budgeted.best.predicted_seconds == exhaustive.best.predicted_seconds
+                and budgeted.best.program.signature()
+                == exhaustive.best.program.signature()
+            )
+            winners_matched += same_winner
+            rows.append(
+                [
+                    scenario.name,
+                    exhaustive.num_strategies,
+                    budgeted.search["considered"],
+                    exhaustive_seconds,
+                    budgeted_seconds,
+                    exhaustive_seconds / budgeted_seconds,
+                    "yes" if same_winner else "NO",
+                ]
+            )
+        return (
+            rows,
+            exhaustive_total,
+            budgeted_total,
+            considered,
+            bound_rejected,
+            winners_matched,
+        )
+
+    (
+        rows,
+        exhaustive_total,
+        budgeted_total,
+        considered,
+        bound_rejected,
+        winners_matched,
+    ) = benchmark.pedantic(both_sweeps, rounds=1, iterations=1)
+
+    speedup = exhaustive_total / budgeted_total
+    text = format_table(
+        [
+            "scenario",
+            "strategies",
+            "considered",
+            "exhaustive (s)",
+            "budgeted (s)",
+            "speedup",
+            "same winner",
+        ],
+        rows,
+        title=(
+            f"Budgeted+pruned search (max_candidates={CANDIDATE_BUDGET}) vs "
+            f"exhaustive: {len(scenarios)} scenarios, total "
+            f"{exhaustive_total:.2f}s -> {budgeted_total:.2f}s "
+            f"({speedup:.1f}x)"
+        ),
+        float_fmt="{:.3f}",
+    )
+    save_artifact("search_pruning", text)
+    bench_json(
+        "search_pruning",
+        budgeted_total,
+        counters={
+            "scenarios": len(scenarios),
+            "considered": considered,
+            "winners_matched": winners_matched,
+        },
+    )
+
+    # Losslessness is not statistical: every scenario's best must match.
+    assert winners_matched == len(scenarios), (
+        f"budgeted search changed the winner in "
+        f"{len(scenarios) - winners_matched} scenario(s)"
+    )
+    # The PR acceptance bar: candidate budgets + pruning beat exhaustive
+    # enumeration by at least 3x on the appendix-scale grid.
+    assert speedup >= SPEEDUP_BAR, (
+        f"budgeted search only {speedup:.1f}x faster than exhaustive "
+        f"(bar: {SPEEDUP_BAR}x; {bound_rejected} bound-rejected)"
+    )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.api import P2
 from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.query import PlanQuery
 from repro.topology.builders import hierarchical_system
 from repro.topology.links import GB, LinkKind
 
@@ -38,14 +39,17 @@ def build_system(nic_gbps: float):
 def main() -> None:
     # 32-way data parallelism (necessarily spanning several nodes) combined
     # with 2-way sharding; the gradient reduction runs over the data axis.
-    axes = ParallelismAxes.of(32, 2, names=("data", "shard"))
-    request = ReductionRequest.over(0)
-    payload = 512 * MB
+    query = PlanQuery(
+        axes=ParallelismAxes.of(32, 2, names=("data", "shard")),
+        request=ReductionRequest.over(0),
+        bytes_per_device=512 * MB,
+        max_program_size=3,
+    )
 
     for nic_gbps in (8.0, 25.0):
         system = build_system(nic_gbps)
         p2 = P2(system, max_program_size=3)
-        plan = p2.optimize(axes, request, bytes_per_device=payload)
+        plan = p2.plan(query).plan
         best = plan.best
         default = plan.default_all_reduce()
         print(f"=== {system.name} ===")

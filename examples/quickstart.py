@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.api import P2
 from repro.cost.nccl import NCCLAlgorithm
 from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.query import PlanQuery
 from repro.topology.gcp import a100_system
 
 MB = 1 << 20
@@ -28,16 +29,28 @@ def main() -> None:
     print(system.describe())
     print()
 
-    # 2. The workload: 8-way data parallelism, 4-way parameter sharding,
-    #    gradient reduction over the data-parallel axis, 256 MB per GPU.
-    axes = ParallelismAxes.of(8, 4, names=("data", "shard"))
-    request = ReductionRequest.over(0)
-    bytes_per_device = 256 * MB
+    # 2. The workload as a PlanQuery: 8-way data parallelism, 4-way parameter
+    #    sharding, gradient reduction over the data-parallel axis, 256 MB per
+    #    GPU.  The query object is the planning API's currency — the same
+    #    dict-serializable form drives the planning service and the sweeps.
+    query = PlanQuery(
+        axes=ParallelismAxes.of(8, 4, names=("data", "shard")),
+        request=ReductionRequest.over(0),
+        bytes_per_device=256 * MB,
+        algorithm=NCCLAlgorithm.RING,
+    )
 
-    # 3. Synthesize placements + strategies and rank them.
+    # 3. Synthesize placements + strategies and rank them.  The outcome
+    #    carries the ranked plan plus provenance: timings, search counters
+    #    and the speedup over each paper baseline.
     p2 = P2(system)
-    plan = p2.optimize(axes, request, bytes_per_device, algorithm=NCCLAlgorithm.RING)
+    outcome = p2.plan(query)
+    plan = outcome.plan
     print(plan.describe(top_k=8))
+    print()
+    for name, speedup in sorted(outcome.baseline_speedups().items()):
+        rendered = "inf" if speedup is None else f"{speedup:.2f}"
+        print(f"speedup over {name} baseline (best placement): {rendered}x")
     print()
 
     best = plan.best

@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.api import P2
 from repro.evaluation.workloads import resnet50_data_parallel
 from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.query import PlanQuery
 from repro.topology.gcp import v100_system
 
 
@@ -37,11 +38,13 @@ def main() -> None:
     print()
 
     p2 = P2(system)
-    plan = p2.optimize(
-        ParallelismAxes.of(replicas, names=("data",)),
-        ReductionRequest.over(0),
-        bytes_per_device=gradient_bytes,
-    )
+    plan = p2.plan(
+        PlanQuery(
+            axes=ParallelismAxes.of(replicas, names=("data",)),
+            request=ReductionRequest.over(0),
+            bytes_per_device=gradient_bytes,
+        )
+    ).plan
 
     default = plan.default_all_reduce()
     best = plan.best

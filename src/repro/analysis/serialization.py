@@ -94,6 +94,7 @@ def results_to_json(results: Sequence[SweepResult]) -> str:
                 "prediction_seconds": result.prediction_seconds,
                 "measurement_seconds": result.measurement_seconds,
                 "provenance": result.provenance(),
+                "baseline_speedups": result.baseline_speedups,
                 "matrices": [_matrix_to_dict(m) for m in result.matrices],
             }
             for result in results
@@ -170,6 +171,9 @@ def results_from_json(text: str) -> List[SweepResult]:
                 n_workers=provenance.get("n_workers", 1),
                 profile_hits=provenance.get("profile_hits", 0),
                 profile_misses=provenance.get("profile_misses", 0),
+                search=provenance.get("search"),
+                synthesis_stats=provenance.get("synthesis_stats"),
+                baseline_speedups=entry.get("baseline_speedups"),
             )
         )
     return results
@@ -191,6 +195,7 @@ def result_to_record(result: SweepResult, query: Optional[Dict] = None) -> Dict:
         "config": _config_to_dict(result.config),
         "query": query,
         "provenance": result.provenance(),
+        "baseline_speedups": result.baseline_speedups,
         "matrices": [_matrix_to_dict(m) for m in result.matrices],
     }
 
@@ -218,6 +223,9 @@ def result_from_record(data: Dict) -> SweepResult:
         n_workers=provenance.get("n_workers", 1),
         profile_hits=provenance.get("profile_hits", 0),
         profile_misses=provenance.get("profile_misses", 0),
+        search=provenance.get("search"),
+        synthesis_stats=provenance.get("synthesis_stats"),
+        baseline_speedups=data.get("baseline_speedups"),
     )
 
 

@@ -21,8 +21,9 @@ True
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.allreduce import default_all_reduce
 from repro.cost.model import CostModel
@@ -37,13 +38,12 @@ from repro.query import PlanOutcome, PlanQuery
 from repro.runtime.events import MeasurementResult, TestbedSimulator
 from repro.runtime.noise import NoiseModel
 from repro.runtime.verification import VerificationReport, verify_against_placement
+from repro.search.driver import SearchDriver, SearchReport
+from repro.search.source import CandidateSource, SearchSpace, StrategyEntry
 from repro.synthesis.hierarchy import build_synthesis_hierarchy
 from repro.synthesis.lowering import LoweredProgram
-from repro.synthesis.pipeline import (
-    PlacementCandidate,
-    ProgramCandidate,
-    synthesize_all,
-)
+from repro.synthesis.pipeline import PlacementCandidate, ProgramCandidate
+from repro.synthesis.pruning import SearchStatistics
 from repro.topology.topology import MachineTopology
 from repro.utils.tabulate import format_table
 
@@ -56,16 +56,18 @@ __all__ = [
     "OptimizationPlan",
     "P2",
     "StrategyEntry",
+    "PlanComputation",
     "collect_strategy_entries",
     "evaluate_entries_serial",
     "rank_entries",
     "compute_plan",
 ]
 
-# v2: RankedStrategy entries carry the DSL program "size" next to the lowered
-# program.  Older envelopes lack it, so they must miss (and recompute) rather
-# than be served with step counts masquerading as program sizes.
-PLAN_FORMAT_VERSION = 2
+# v3: plans carry the per-baseline reference times priced by the search
+# driver's BaselineSource.  Older envelopes lack them, so they must miss
+# (and recompute) rather than be served without per-baseline speedups.
+# (v2 added the DSL program "size" next to each lowered program.)
+PLAN_FORMAT_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -134,7 +136,15 @@ class RankedStrategy:
 
 @dataclass
 class OptimizationPlan:
-    """The ranked output of one :meth:`P2.optimize` call."""
+    """The ranked output of one :meth:`P2.plan` call.
+
+    ``baselines`` maps each paper baseline priced by the search driver
+    (``all_reduce`` / ``hierarchical`` / ``blueconnect``, see
+    :class:`repro.search.BaselineSource`) to its predicted seconds at its
+    best placement for this plan's payload.  Baselines are reference points,
+    not ranked strategies; plans deserialized from pre-v3 envelopes carry an
+    empty dict.
+    """
 
     axes: ParallelismAxes
     request: ReductionRequest
@@ -142,6 +152,7 @@ class OptimizationPlan:
     algorithm: NCCLAlgorithm
     strategies: List[RankedStrategy]
     candidates: List[PlacementCandidate]
+    baselines: Dict[str, float] = field(default_factory=dict)
 
     @property
     def best(self) -> RankedStrategy:
@@ -177,6 +188,23 @@ class OptimizationPlan:
         if best <= 0:
             return float("inf") if default > 0 else 1.0
         return default / best
+
+    def speedup_over_baseline(self, name: str) -> float:
+        """Predicted speedup of the best strategy over a named paper baseline.
+
+        ``name`` is a key of :attr:`baselines`; the zero-cost conventions
+        match :meth:`speedup_over_default`.
+        """
+        if name not in self.baselines:
+            raise EvaluationError(
+                f"this plan records no {name!r} baseline; available: "
+                f"{sorted(self.baselines)}"
+            )
+        best = self.best.predicted_seconds
+        baseline = self.baselines[name]
+        if best <= 0:
+            return float("inf") if baseline > 0 else 1.0
+        return baseline / best
 
     def describe(self, top_k: int = 5) -> str:
         rows = [
@@ -223,6 +251,9 @@ class OptimizationPlan:
                 for candidate in self.candidates
             ],
             "strategies": [strategy.to_dict() for strategy in self.strategies],
+            "baselines": {
+                name: seconds for name, seconds in sorted(self.baselines.items())
+            },
         }
 
     @classmethod
@@ -306,6 +337,7 @@ class OptimizationPlan:
             algorithm=algorithm,
             strategies=strategies,
             candidates=candidates,
+            baselines=dict(data.get("baselines", {})),
         )
 
 
@@ -316,22 +348,9 @@ def _profile_counters(simulator: Optional[ProgramSimulator]) -> Tuple[int, int]:
     return simulator.profile_hits, simulator.profile_misses
 
 
-@dataclass(frozen=True)
-class StrategyEntry:
-    """One (candidate, lowered program) pair awaiting cost evaluation.
-
-    The entry list is the contract between synthesis and ranking: the serial
-    path, the process-pool path (:mod:`repro.service.parallel`) and the
-    planning service all build the same entries in the same order, so a
-    stable sort over the predicted times yields the identical ranking no
-    matter who computed them.
-    """
-
-    candidate: PlacementCandidate
-    lowered: LoweredProgram
-    mnemonic: str
-    is_default_all_reduce: bool
-    size: int = 1  # DSL program size (the baseline AllReduce counts as 1)
+# StrategyEntry now lives in repro.search.source (the entry stream is the
+# search package's currency); it stays importable from here for callers of
+# the eager helpers below.
 
 
 def collect_strategy_entries(
@@ -392,65 +411,88 @@ def evaluate_entries_serial(
     return predicted
 
 
+@dataclass
+class PlanComputation:
+    """Everything one cold-path :func:`compute_plan` run produced.
+
+    ``report`` and ``statistics`` are the search-driver and synthesizer
+    provenance the :class:`~repro.query.PlanOutcome` surfaces (see
+    ``PlanOutcome.provenance()``); the timing split matches the historical
+    contract (synthesis = candidate enumeration + program synthesis,
+    evaluation = pricing, interleaved by the streaming driver but accounted
+    separately).
+    """
+
+    plan: "OptimizationPlan"
+    synthesis_seconds: float
+    evaluation_seconds: float
+    report: SearchReport
+    statistics: SearchStatistics
+
+    def search_dict(self) -> Dict[str, Any]:
+        return self.report.to_dict()
+
+    def statistics_dict(self) -> Dict[str, Any]:
+        return self.statistics.to_dict()
+
+
 def compute_plan(
     topology: MachineTopology,
     cost_model: CostModel,
-    axes: ParallelismAxes,
-    request: ReductionRequest,
-    bytes_per_device: int,
-    algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
-    max_program_size: int = 5,
-    max_matrices: Optional[int] = None,
+    query: PlanQuery,
     evaluator=None,
     node_limit: int = 500_000,
     validate: bool = True,
     simulator: Optional[ProgramSimulator] = None,
-) -> Tuple["OptimizationPlan", float, float]:
-    """The cold-path pipeline shared by :meth:`P2.optimize` and the service.
+    sources: Optional[Sequence[CandidateSource]] = None,
+) -> PlanComputation:
+    """The cold-path pipeline shared by :meth:`P2.plan` and the service.
 
-    Synthesizes all candidates, evaluates them (through ``evaluator`` — any
-    object with an ``evaluate(programs, bytes_per_device, algorithm)`` method,
-    e.g. a :class:`~repro.service.parallel.ParallelEvaluator` — or serially
-    when ``None``, optionally on a caller-owned ``simulator`` whose
-    compiled-profile cache then persists across calls) and ranks them.
-    Keeping this in one place is what makes the service's fingerprint-keyed
-    cache sound: both entry points compute plans from the same inputs the
-    same way.  Returns the plan plus the synthesis and evaluation wall-clock
-    seconds.
+    Runs the streaming :class:`~repro.search.SearchDriver` over the query's
+    candidate sources (``sources`` overrides the default baseline+synthesis
+    pair; see :func:`repro.search.default_sources`), prices entries through
+    ``evaluator`` — any object with an ``evaluate(programs, bytes_per_device,
+    algorithm)`` method, e.g. a
+    :class:`~repro.service.parallel.ParallelEvaluator` — or serially on the
+    caller-owned ``simulator`` (whose compiled-profile cache then persists
+    across calls), and ranks the survivors.  Keeping this in one place is
+    what makes the service's fingerprint-keyed cache sound: both entry
+    points compute plans from the same inputs the same way.
+
+    Without a search budget on the query the result is identical to the
+    historical exhaustive pipeline; with one
+    (:attr:`~repro.query.PlanQuery.max_candidates` /
+    :attr:`~repro.query.PlanQuery.time_budget_s`) enumeration stops at the
+    budget and lower-bound pruning drops provably non-optimal candidates —
+    losslessly for the best strategy.
     """
-    synth_start = time.perf_counter()
-    candidates = synthesize_all(
-        topology.hierarchy,
-        axes,
-        request,
-        max_program_size=max_program_size,
-        max_matrices=max_matrices,
+    driver = SearchDriver(topology, cost_model, simulator=simulator, evaluator=evaluator)
+    space = SearchSpace(
+        topology=topology,
+        cost_model=cost_model,
+        query=query,
         node_limit=node_limit,
         validate=validate,
     )
-    entries = collect_strategy_entries(candidates, request)
-    synthesis_seconds = time.perf_counter() - synth_start
-
-    eval_start = time.perf_counter()
-    if evaluator is not None:
-        predicted = evaluator.evaluate(
-            [entry.lowered for entry in entries], bytes_per_device, algorithm
-        )
-    else:
-        predicted = evaluate_entries_serial(
-            entries, topology, cost_model, bytes_per_device, algorithm, simulator
-        )
-    evaluation_seconds = time.perf_counter() - eval_start
-
+    result = driver.run(space, sources=sources)
     plan = OptimizationPlan(
-        axes=axes,
-        request=request,
-        bytes_per_device=bytes_per_device,
-        algorithm=algorithm,
-        strategies=rank_entries(entries, predicted, bytes_per_device=bytes_per_device),
-        candidates=candidates,
+        axes=query.axes,
+        request=query.request,
+        bytes_per_device=query.bytes_per_device,
+        algorithm=query.algorithm,
+        strategies=rank_entries(
+            result.entries, result.predicted, bytes_per_device=query.bytes_per_device
+        ),
+        candidates=result.candidates,
+        baselines=result.baselines,
     )
-    return plan, synthesis_seconds, evaluation_seconds
+    return PlanComputation(
+        plan=plan,
+        synthesis_seconds=result.synthesis_seconds,
+        evaluation_seconds=result.evaluation_seconds,
+        report=result.report,
+        statistics=result.statistics,
+    )
 
 
 def rank_entries(
@@ -536,6 +578,7 @@ class P2:
         service: Optional["PlanningService"] = None,
         n_workers: Optional[int] = None,
         evaluator=None,
+        sources: Optional[Sequence[CandidateSource]] = None,
     ) -> PlanOutcome:
         """Answer one :class:`PlanQuery` with a :class:`PlanOutcome`.
 
@@ -546,8 +589,9 @@ class P2:
             :class:`~repro.service.engine.PlanningService` (plan caching,
             request stats, optional worker pool).  The service must be bound
             to this tool's topology and cost model; the query's own search
-            limits (``max_program_size``, ``max_matrices``) are honoured by
-            the service, so no agreement on them is required.
+            limits (``max_program_size``, ``max_matrices``, candidate/time
+            budgets) are honoured by the service, so no agreement on them is
+            required.
         n_workers:
             Opt-in: fan candidate simulation out over a process pool of this
             size (``service`` takes precedence; the service manages its own
@@ -556,8 +600,22 @@ class P2:
             Opt-in: an existing evaluator (e.g. a shared
             :class:`~repro.service.parallel.ParallelEvaluator`) to price the
             candidates with; takes precedence over ``n_workers``.
+        sources:
+            Opt-in: override the candidate sources searched (default:
+            baselines + full synthesis, :func:`repro.search.default_sources`).
+            Prepend a :class:`~repro.search.PinnedPlanSource` to seed the
+            branch-and-bound incumbent from a known-good plan, or append a
+            custom :class:`~repro.search.CandidateSource`.  Not available
+            through a ``service`` — custom sources change what a query means,
+            which would poison the fingerprint-keyed plan cache.
         """
         if service is not None:
+            if sources is not None:
+                raise EvaluationError(
+                    "custom candidate sources cannot be routed through a "
+                    "planning service: its cache keys queries by fingerprint, "
+                    "which does not cover the source list"
+                )
             if not service.compatible_with(self.topology):
                 raise EvaluationError(
                     f"planning service is bound to topology "
@@ -581,18 +639,14 @@ class P2:
 
             with ParallelEvaluator(self.topology, self.cost_model, n_workers) as pool:
                 hits_before, misses_before = pool.profile_counters()
-                plan, synthesis_seconds, evaluation_seconds = compute_plan(
+                computation = compute_plan(
                     self.topology,
                     self.cost_model,
-                    query.axes,
-                    query.request,
-                    query.bytes_per_device,
-                    query.algorithm,
-                    max_program_size=query.max_program_size,
-                    max_matrices=query.max_matrices,
+                    query,
                     evaluator=pool,
                     node_limit=self.node_limit,
                     validate=self.validate_lowering,
+                    sources=sources,
                 )
                 hits_after, misses_after = pool.profile_counters()
         else:
@@ -605,19 +659,15 @@ class P2:
                 else self.simulator
             )
             hits_before, misses_before = _profile_counters(simulator)
-            plan, synthesis_seconds, evaluation_seconds = compute_plan(
+            computation = compute_plan(
                 self.topology,
                 self.cost_model,
-                query.axes,
-                query.request,
-                query.bytes_per_device,
-                query.algorithm,
-                max_program_size=query.max_program_size,
-                max_matrices=query.max_matrices,
+                query,
                 evaluator=evaluator,
                 node_limit=self.node_limit,
                 validate=self.validate_lowering,
                 simulator=None if evaluator is not None else simulator,
+                sources=sources,
             )
             hits_after, misses_after = _profile_counters(simulator)
         if evaluator is not None:
@@ -628,15 +678,17 @@ class P2:
             workers = 1
         return PlanOutcome(
             query=query,
-            plan=plan,
-            synthesis_seconds=synthesis_seconds,
-            evaluation_seconds=evaluation_seconds,
+            plan=computation.plan,
+            synthesis_seconds=computation.synthesis_seconds,
+            evaluation_seconds=computation.evaluation_seconds,
             total_seconds=time.perf_counter() - start,
             fingerprint=plan_query_fingerprint(self.topology, query, self.cost_model),
             cache_tier=None,
             n_workers=workers,
             profile_hits=hits_after - hits_before,
             profile_misses=misses_after - misses_before,
+            search=computation.search_dict(),
+            synthesis_stats=computation.statistics_dict(),
         )
 
     def plan_many(
@@ -666,11 +718,20 @@ class P2:
     ) -> OptimizationPlan:
         """Synthesize and rank every (placement, strategy) candidate.
 
-        Pre-:class:`PlanQuery` signature, kept for backward compatibility:
-        it builds a query from the loose arguments (with this tool's
-        ``max_program_size``) and delegates to :meth:`plan`, returning just
-        the plan.  Use :meth:`plan` to also get timings and provenance.
+        .. deprecated::
+            This is the pre-:class:`PlanQuery` loose-argument signature,
+            kept only for backward compatibility.  Build a
+            :class:`~repro.query.PlanQuery` and call :meth:`plan` instead —
+            it returns the same plan plus timings, search provenance and
+            per-baseline speedups, and is the only signature new search
+            features (candidate budgets, pinned sources) are added to.
         """
+        warnings.warn(
+            "P2.optimize is deprecated; build a PlanQuery and call P2.plan "
+            "(the returned PlanOutcome's .plan is this method's return value)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if service is not None and service.max_program_size != self.max_program_size:
             # Historical contract of this signature: the tool and the service
             # must agree on the search limit.  (The query-based plan() route

@@ -3,7 +3,10 @@
 ``repro-cli`` exposes the main reproduction artefacts:
 
 * ``repro-cli optimize`` — run P² for a system / parallelism shape and print
-  the ranked strategies (the tool's primary use case).
+  the ranked strategies (the tool's primary use case).  ``--max-candidates``
+  / ``--time-budget`` opt into the budgeted branch-and-bound search driver;
+  the printed summary then includes the per-baseline speedups and search
+  counters.
 * ``repro-cli plan`` — choose one placement for several reductions at once
   (gradients + activations, each with its own payload and frequency).
 * ``repro-cli emit`` — print the best strategy as XLA-style collective ops.
@@ -79,6 +82,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "(bounds the search on large topologies)")
         p.add_argument("--max-program-size", type=int, default=5,
                        help="program-size limit for strategy synthesis (default 5)")
+        add_search_budget_arguments(p)
+
+    def add_search_budget_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--max-candidates", type=int, default=None,
+                       help="search budget: stop after considering this many "
+                            "candidate strategies (enables lazy enumeration "
+                            "and lossless lower-bound pruning)")
+        p.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
+                       help="search budget: stop enumerating candidates after "
+                            "this much wall-clock time (best-so-far plan; "
+                            "never cached)")
 
     p_opt = sub.add_parser("optimize", help="synthesize and rank strategies for one shape")
     add_shape_arguments(p_opt)
@@ -183,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "on-disk plan cache here (warm re-runs are lookups)")
             p.add_argument("--json", action="store_true",
                            help="print each scenario record as one JSON line")
+            add_search_budget_arguments(p)
     return parser
 
 
@@ -199,6 +214,8 @@ def _run_optimize(args: argparse.Namespace) -> int:
         algorithm=NCCLAlgorithm(args.algorithm),
         max_matrices=args.max_matrices,
         max_program_size=args.max_program_size,
+        max_candidates=args.max_candidates,
+        time_budget_s=args.time_budget,
     )
     p2 = P2(topology, max_program_size=args.max_program_size)
     outcome = p2.plan(query, n_workers=args.workers)
@@ -212,6 +229,19 @@ def _run_optimize(args: argparse.Namespace) -> int:
     print()
     print(f"best strategy: {plan.best.describe()}")
     print(f"speedup over best-placed AllReduce: {plan.speedup_over_default():.2f}x")
+    for name, speedup in sorted(outcome.baseline_speedups().items()):
+        rendered = "inf" if speedup is None else f"{speedup:.2f}"
+        print(f"speedup over {name} baseline (best placement): {rendered}x")
+    if outcome.search is not None and (
+        outcome.search.get("bound_rejected")
+        or outcome.search.get("budget_stopped")
+        or outcome.search.get("time_stopped")
+    ):
+        print(
+            f"search: {outcome.search['considered']} considered, "
+            f"{outcome.search['bound_rejected']} bound-rejected, "
+            f"{outcome.search['placements_pruned']} placements pruned"
+        )
     return 0
 
 
@@ -300,6 +330,27 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
         )
     if not queries:
         raise SystemExit("serve-batch needs at least one --query or --queries-file")
+    if args.max_candidates is not None or args.time_budget is not None:
+        import dataclasses
+
+        # Uniform search budget for the batch; a query file that carries its
+        # own budget keeps it (the command line only fills the gaps).
+        queries = [
+            dataclasses.replace(
+                query,
+                max_candidates=(
+                    query.max_candidates
+                    if query.max_candidates is not None
+                    else args.max_candidates
+                ),
+                time_budget_s=(
+                    query.time_budget_s
+                    if query.time_budget_s is not None
+                    else args.time_budget
+                ),
+            )
+            for query in queries
+        ]
 
     cache = PlanCache(directory=args.cache_dir)
     with PlanningService(
@@ -395,17 +446,21 @@ def _run_plan(args: argparse.Namespace) -> int:
 def _run_emit(args: argparse.Namespace) -> int:
     from repro.compile import emit_xla_module
 
+    from repro.query import PlanQuery
+
     system = SystemKind(args.system)
     topology = system.build(args.nodes)
     bytes_per_device = args.bytes or paper_payload_bytes(args.nodes)
     elements = args.elements or max(bytes_per_device // 4, 1)
     p2 = P2(topology)
-    plan = p2.optimize(
-        ParallelismAxes(tuple(args.axes)),
-        ReductionRequest(tuple(args.reduce)),
-        bytes_per_device=bytes_per_device,
-        algorithm=NCCLAlgorithm(args.algorithm),
-    )
+    plan = p2.plan(
+        PlanQuery(
+            axes=ParallelismAxes(tuple(args.axes)),
+            request=ReductionRequest(tuple(args.reduce)),
+            bytes_per_device=bytes_per_device,
+            algorithm=NCCLAlgorithm(args.algorithm),
+        )
+    ).plan
     best = plan.best
     print(f"// best strategy: {best.describe()}")
     module = emit_xla_module(best.program, element_count=elements)
@@ -458,6 +513,19 @@ def _run_sweep(args: argparse.Namespace) -> int:
     scenarios, measure, runs = _sweep_scenarios(args)
     if not scenarios:
         raise SystemExit("the sweep selected no scenarios")
+    if args.max_candidates is not None or args.time_budget is not None:
+        import dataclasses
+
+        # A uniform search budget across the sweep (part of each scenario's
+        # query, so --resume correctly recomputes records whose budget changed).
+        scenarios = [
+            dataclasses.replace(
+                scenario,
+                max_candidates=args.max_candidates,
+                time_budget_s=args.time_budget,
+            )
+            for scenario in scenarios
+        ]
 
     planner_factory = None
     if args.cache_dir is not None or (args.workers or 0) > 1:

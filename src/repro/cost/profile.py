@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cost.contention import analyze_step_contention
 from repro.cost.model import CostModel
-from repro.cost.nccl import NCCLAlgorithm
+from repro.cost.nccl import NCCLAlgorithm, bytes_on_wire, latency_steps
 from repro.errors import CostModelError
 from repro.semantics.collectives import Collective, apply_collective
 from repro.semantics.goals import initial_context
@@ -80,17 +80,38 @@ class ProfileClass:
 
 @dataclass(frozen=True)
 class StepProfile:
-    """The payload-independent analysis of one lowered step."""
+    """The payload-independent analysis of one lowered step.
+
+    ``ring_bound`` / ``tree_bound`` are closed-form lower-bound coefficients
+    ``(latency_seconds, seconds_per_byte)`` precomputed at compile time: the
+    step's true time under either algorithm is at least
+    ``launch_overhead + max(latency_seconds, seconds_per_byte * payload)``.
+    Each coefficient is a per-class maximum of terms every class's price
+    provably dominates (the wire volume is linear in the payload with zero
+    intercept, and the small-message penalty only *reduces* bandwidth), so
+    the bound can never exceed :func:`price_profile`'s exact step time —
+    this is what makes branch-and-bound pruning in :mod:`repro.search`
+    lossless.  ``None`` (profiles built by hand in tests) means "no bound
+    information": :meth:`SimulationProfile.lower_bound` then falls back to
+    the launch overhead alone, which is still sound.
+    """
 
     collective: Collective
     num_groups: int
     group_size: int
     max_sharing: float
     classes: Tuple[ProfileClass, ...]
+    ring_bound: Optional[Tuple[float, float]] = None
+    tree_bound: Optional[Tuple[float, float]] = None
 
     @property
     def num_classes(self) -> int:
         return len(self.classes)
+
+    def bound_coefficients(self, algorithm: NCCLAlgorithm) -> Tuple[float, float]:
+        """(latency seconds, seconds per payload byte) for ``algorithm``."""
+        bound = self.ring_bound if algorithm == NCCLAlgorithm.RING else self.tree_bound
+        return bound if bound is not None else (0.0, 0.0)
 
 
 @dataclass(frozen=True)
@@ -131,12 +152,66 @@ class SimulationProfile:
         """Convenience method; see :func:`price_profile`."""
         return price_profile(self, bytes_per_device, algorithm, cost_model)
 
+    def lower_bound(
+        self,
+        bytes_per_device: float,
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+        cost_model: Optional[CostModel] = None,
+    ) -> float:
+        """Closed-form lower bound on :meth:`price` for any payload — ``O(steps)``.
+
+        Sums ``launch_overhead + max(latency_seconds, seconds_per_byte *
+        payload)`` over the steps using the coefficients precompiled by
+        :func:`compile_profile` (see :class:`StepProfile`).  Guaranteed
+        ``lower_bound(...) <= price(...).total_seconds`` for every payload,
+        algorithm and cost model whose launch overhead matches: the search
+        driver uses it to reject candidates whose optimistic time already
+        exceeds the incumbent without paying the per-class pricing loop.
+        """
+        if bytes_per_device < 0:
+            raise CostModelError("bytes_per_device must be non-negative")
+        model = cost_model if cost_model is not None else CostModel()
+        total = 0.0
+        for step in self.steps:
+            latency_seconds, seconds_per_byte = step.bound_coefficients(algorithm)
+            total += model.launch_overhead + max(
+                latency_seconds, seconds_per_byte * bytes_per_device
+            )
+        return total
+
     def describe(self) -> str:
         steps = "; ".join(
             f"{s.collective}x{s.num_groups}->{s.num_classes} class(es)"
             for s in self.steps
         )
         return f"{self.label or 'profile'}: {steps}"
+
+
+def _bound_coefficients(
+    collective: Collective,
+    algorithm: NCCLAlgorithm,
+    classes: Tuple[ProfileClass, ...],
+) -> Tuple[float, float]:
+    """Lower-bound coefficients of one step (see :class:`StepProfile`).
+
+    For every class, ``time >= launch + steps*latency`` and ``time >= launch
+    + volume(payload)/bandwidth`` (the small-message penalty only slows the
+    link down), and the wire volume is linear in the payload, so taking the
+    per-class maxima of the two terms separately yields a pair that bounds
+    the step's per-class maximum from below at every payload.
+    """
+    latency_seconds = 0.0
+    seconds_per_byte = 0.0
+    for cls in classes:
+        steps = latency_steps(collective, algorithm, cls.group_size)
+        latency_seconds = max(latency_seconds, steps * cls.link_latency)
+        volume_per_byte = bytes_on_wire(
+            collective, algorithm, cls.group_size, cls.chunk_fraction
+        )
+        seconds_per_byte = max(
+            seconds_per_byte, volume_per_byte / cls.effective_bandwidth
+        )
+    return latency_seconds, seconds_per_byte
 
 
 def compile_profile(
@@ -176,24 +251,31 @@ def compile_profile(
             for device, state in zip(group, post_states):
                 updates[device] = state
         context = context.replace(updates)
+        step_classes = tuple(
+            ProfileClass(
+                group_size=key[0],
+                span_level=key[1],
+                chunk_fraction=fraction,
+                sharing=cost.sharing,
+                link_name=cost.link.name,
+                link_latency=cost.link.latency,
+                effective_bandwidth=cost.effective_bandwidth,
+                count=count,
+            )
+            for key, (cost, fraction, count) in classes.items()
+        )
         step_profiles.append(
             StepProfile(
                 collective=step.collective,
                 num_groups=step.num_groups,
                 group_size=step.group_size,
                 max_sharing=contention.max_sharing,
-                classes=tuple(
-                    ProfileClass(
-                        group_size=key[0],
-                        span_level=key[1],
-                        chunk_fraction=fraction,
-                        sharing=cost.sharing,
-                        link_name=cost.link.name,
-                        link_latency=cost.link.latency,
-                        effective_bandwidth=cost.effective_bandwidth,
-                        count=count,
-                    )
-                    for key, (cost, fraction, count) in classes.items()
+                classes=step_classes,
+                ring_bound=_bound_coefficients(
+                    step.collective, NCCLAlgorithm.RING, step_classes
+                ),
+                tree_bound=_bound_coefficients(
+                    step.collective, NCCLAlgorithm.TREE, step_classes
                 ),
             )
         )

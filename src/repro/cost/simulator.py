@@ -150,6 +150,17 @@ class ProgramSimulator:
             self._profiles.move_to_end(key)
         return cached
 
+    def peek_profile(self, program: LoweredProgram) -> Optional[SimulationProfile]:
+        """The cached profile for ``program`` without touching the counters.
+
+        Unlike :meth:`cached_profile` this neither records a hit nor moves
+        the entry in the LRU — it is for *bound* computations (the search
+        driver asks "can this candidate possibly beat the incumbent?") that
+        must not perturb the hits+misses == distinct-signatures-priced
+        accounting the planning provenance reports.
+        """
+        return self._profiles.get(program.signature())
+
     def adopt_profile(
         self, program: LoweredProgram, profile: SimulationProfile
     ) -> None:

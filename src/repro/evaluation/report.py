@@ -100,9 +100,24 @@ def render_provenance_summary(results: Sequence[SweepResult]) -> str:
     profile_hits = sum(r.profile_hits for r in results)
     profile_misses = sum(r.profile_misses for r in results)
     ratio = hits / len(results)
-    return (
+    line = (
         f"plan cache: {hits}/{len(results)} hits ({ratio * 100:.0f}%); "
         f"simulation profiles: {profile_hits} repriced / {profile_misses} compiled; "
         f"wall clock: synthesis {synthesis:.2f}s + evaluation {evaluation:.2f}s "
         f"+ measurement {measurement:.2f}s"
     )
+    searches = [r.search for r in results if r.search]
+    if searches:
+        considered = sum(s.get("considered", 0) for s in searches)
+        bound_rejected = sum(s.get("bound_rejected", 0) for s in searches)
+        placements_pruned = sum(s.get("placements_pruned", 0) for s in searches)
+        stopped = sum(
+            1 for s in searches if s.get("budget_stopped") or s.get("time_stopped")
+        )
+        line += (
+            f"\nsearch: {considered} candidates considered, "
+            f"{bound_rejected} bound-rejected, "
+            f"{placements_pruned} placements pruned, "
+            f"{stopped}/{len(searches)} scenario(s) budget-stopped"
+        )
+    return line

@@ -156,6 +156,12 @@ class SweepResult:
     n_workers: int = 1
     profile_hits: int = 0
     profile_misses: int = 0
+    # Search-driver and synthesizer provenance (None on cache hits, where no
+    # search ran) plus the plan's per-baseline speedups — all straight from
+    # the PlanOutcome, already JSON-ready.
+    search: Optional[Dict] = None
+    synthesis_stats: Optional[Dict] = None
+    baseline_speedups: Optional[Dict] = None
 
     @property
     def cache_hit(self) -> bool:
@@ -198,6 +204,8 @@ class SweepResult:
             "n_workers": self.n_workers,
             "profile_hits": self.profile_hits,
             "profile_misses": self.profile_misses,
+            "search": self.search,
+            "synthesis_stats": self.synthesis_stats,
         }
 
     def describe(self) -> str:
@@ -457,4 +465,7 @@ class SweepRunner:
             n_workers=outcome.n_workers,
             profile_hits=outcome.profile_hits,
             profile_misses=outcome.profile_misses,
+            search=outcome.search,
+            synthesis_stats=outcome.synthesis_stats,
+            baseline_speedups=outcome.baseline_speedups(),
         )

@@ -68,6 +68,12 @@ class Scenario:
 
     config: ExperimentConfig
     max_matrices: Optional[int] = None
+    # Optional search budget (PlanQuery.max_candidates / time_budget_s):
+    # switches the scenario's query onto the streaming branch-and-bound
+    # driver.  ``repro-cli sweep --max-candidates/--time-budget`` set these
+    # uniformly across a sweep.
+    max_candidates: Optional[int] = None
+    time_budget_s: Optional[float] = None
 
     @property
     def name(self) -> str:
@@ -89,6 +95,8 @@ class Scenario:
             algorithm=self.config.algorithm,
             max_matrices=self.max_matrices,
             max_program_size=self.config.max_program_size,
+            max_candidates=self.max_candidates,
+            time_budget_s=self.time_budget_s,
         )
 
     def describe(self) -> str:

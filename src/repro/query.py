@@ -61,6 +61,20 @@ class PlanQuery:
     algorithm: NCCLAlgorithm = NCCLAlgorithm.RING
     max_matrices: Optional[int] = None
     max_program_size: int = DEFAULT_MAX_PROGRAM_SIZE
+    # Search budget (None = exhaustive).  Setting either one switches the
+    # pipeline to the streaming branch-and-bound driver (repro.search):
+    # max_candidates caps how many synthesized strategy entries are
+    # considered, time_budget_s stops enumeration after a wall-clock budget,
+    # and lower-bound pruning drops provably non-optimal candidates.  The
+    # best strategy is unaffected by pruning (it is lossless); budgets
+    # truncate the tail of the ranking.
+    max_candidates: Optional[int] = None
+    time_budget_s: Optional[float] = None
+
+    @property
+    def has_search_budget(self) -> bool:
+        """True when the query opts into the budgeted/pruned search driver."""
+        return self.max_candidates is not None or self.time_budget_s is not None
 
     def __post_init__(self) -> None:
         axes = self.axes
@@ -106,6 +120,30 @@ class PlanQuery:
             raise QueryError(
                 f"max_matrices must be None or a positive integer, got {self.max_matrices!r}"
             )
+        if self.max_candidates is not None and (
+            isinstance(self.max_candidates, bool)
+            or not isinstance(self.max_candidates, int)
+            or self.max_candidates < 1
+        ):
+            raise QueryError(
+                f"max_candidates must be None or a positive integer, got {self.max_candidates!r}"
+            )
+        if self.time_budget_s is not None:
+            try:
+                budget = float(self.time_budget_s)
+            except (TypeError, ValueError):
+                raise QueryError(
+                    f"time_budget_s must be None or a positive number, got {self.time_budget_s!r}"
+                )
+            # NaN slips through a plain <= 0 check and would make every
+            # elapsed-time comparison false: a "budgeted" query that never
+            # stops.  Infinity is equally meaningless as a budget.
+            if budget <= 0 or budget != budget or budget == float("inf"):
+                raise QueryError(
+                    f"time_budget_s must be None or a positive finite number, "
+                    f"got {self.time_budget_s!r}"
+                )
+            object.__setattr__(self, "time_budget_s", budget)
         request.validate_against(axes)
 
     # ------------------------------------------------------------------ #
@@ -125,6 +163,12 @@ class PlanQuery:
             "algorithm": self.algorithm.value,
             "max_matrices": None if self.max_matrices is None else int(self.max_matrices),
             "max_program_size": int(self.max_program_size),
+            "max_candidates": (
+                None if self.max_candidates is None else int(self.max_candidates)
+            ),
+            "time_budget_s": (
+                None if self.time_budget_s is None else float(self.time_budget_s)
+            ),
         }
 
     @classmethod
@@ -190,6 +234,8 @@ class PlanQuery:
                 algorithm=data.get("algorithm", NCCLAlgorithm.RING),
                 max_matrices=limit,
                 max_program_size=size,
+                max_candidates=data.get("max_candidates"),
+                time_budget_s=data.get("time_budget_s"),
             )
         except QueryError:
             raise
@@ -257,6 +303,10 @@ class PlanQuery:
         limits = []
         if self.max_matrices is not None:
             limits.append(f"max_matrices={self.max_matrices}")
+        if self.max_candidates is not None:
+            limits.append(f"max_candidates={self.max_candidates}")
+        if self.time_budget_s is not None:
+            limits.append(f"time_budget_s={self.time_budget_s:g}")
         suffix = f" ({', '.join(limits)})" if limits else ""
         return (
             f"{self.axes.describe()} {self.request.describe(self.axes)}, "
@@ -277,6 +327,12 @@ class PlanOutcome:
     hits are candidate simulations answered by re-pricing an already compiled
     :class:`~repro.cost.profile.SimulationProfile` instead of re-running
     semantics and contention analysis.
+
+    ``search`` is the streaming driver's :class:`~repro.search.SearchReport`
+    as a JSON-ready dict (candidates considered / pruned / bound-rejected,
+    budget stops) and ``synthesis_stats`` the aggregated synthesizer
+    :class:`~repro.synthesis.pruning.SearchStatistics`; both are ``None`` on
+    plan-cache hits, where no search ran.
     """
 
     query: PlanQuery
@@ -289,6 +345,8 @@ class PlanOutcome:
     n_workers: int = 1
     profile_hits: int = 0
     profile_misses: int = 0
+    search: Optional[Dict[str, Any]] = None
+    synthesis_stats: Optional[Dict[str, Any]] = None
 
     @property
     def cache_hit(self) -> bool:
@@ -323,13 +381,38 @@ class PlanOutcome:
             "n_workers": self.n_workers,
             "profile_hits": self.profile_hits,
             "profile_misses": self.profile_misses,
+            "search": self.search,
+            "synthesis_stats": self.synthesis_stats,
         }
+
+    def baseline_speedups(self) -> Dict[str, Optional[float]]:
+        """Predicted speedup of the best strategy over each paper baseline.
+
+        Keys are the baseline names priced by the search driver's
+        :class:`~repro.search.BaselineSource` (``all_reduce`` = the flat
+        per-group ring AllReduce, ``hierarchical`` =
+        Reduce-AllReduce-Broadcast, ``blueconnect`` =
+        ReduceScatter-AllReduce-AllGather), each reported at its best
+        placement.  A zero-cost best strategy against a costly baseline is
+        ``None`` (infinite), mirroring :meth:`to_dict`'s handling of
+        ``speedup_over_default``.  Empty for plans computed before baselines
+        became first-class candidates.
+        """
+        best = self.plan.best.predicted_seconds if self.plan.strategies else 0.0
+        speedups: Dict[str, Optional[float]] = {}
+        for name, seconds in self.plan.baselines.items():
+            if best <= 0:
+                speedups[name] = None if seconds > 0 else 1.0
+            else:
+                speedups[name] = seconds / best
+        return speedups
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form: query + plan + provenance.
 
         ``speedup_over_default`` is ``None`` when it is infinite (a zero-cost
-        best strategy) so the encoding stays strict JSON.
+        best strategy) so the encoding stays strict JSON; the per-baseline
+        speedups use the same convention.
         """
         speedup = self.plan.speedup_over_default()
         data = {
@@ -338,6 +421,7 @@ class PlanOutcome:
             "num_candidates": self.num_candidates,
             "num_strategies": self.num_strategies,
             "speedup_over_default": speedup if speedup != float("inf") else None,
+            "baseline_speedups": self.baseline_speedups(),
         }
         data.update(self.provenance())
         return data

@@ -1,0 +1,113 @@
+"""Closed-form lower bounds for branch-and-bound candidate pruning.
+
+Every bound here is *admissible*: it can never exceed the exact predicted
+time of the candidate it bounds, under any payload, NCCL algorithm or cost
+model the pipeline supports.  That is the whole correctness argument for
+pruning — a candidate is skipped only when even its most optimistic time is
+worse than an incumbent the search has already priced exactly — and it is
+what the lossless property tests in ``tests/test_search_driver.py`` check.
+
+Three bounds, from cheapest/weakest to tightest:
+
+* :func:`program_lower_bound` — pure structure: every lowered step costs at
+  least the launch overhead plus one hop on *some* link, so ``steps x
+  (launch + min link latency)``.  Needs no semantics, contention analysis or
+  profile; used for cold candidates whose profile is not compiled yet.
+* :func:`~repro.cost.profile.SimulationProfile.lower_bound` — the compiled
+  profile's per-step coefficients (latency and bytes-per-second maxima over
+  its group equivalence classes); used whenever the simulator's profile
+  cache already knows the candidate's signature.
+* :func:`placement_lower_bound` — bounds *every* program on a placement at
+  once: each reduction group's contributions must merge across that group's
+  span boundary, so some step pays the launch overhead plus a hop on a link
+  at least that coarse.  The synthesis source uses it to skip entire
+  placements before paying for their program synthesis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cost.model import CostModel
+from repro.hierarchy.parallelism import ReductionRequest
+from repro.hierarchy.placement import DevicePlacement
+from repro.synthesis.lowering import LoweredProgram
+from repro.topology.topology import MachineTopology
+
+__all__ = [
+    "min_link_latency",
+    "program_lower_bound",
+    "placement_lower_bound",
+]
+
+
+def min_link_latency(topology: MachineTopology) -> float:
+    """The smallest hop latency any step could possibly pay on ``topology``."""
+    latencies = [link.latency for link in topology.interconnects]
+    if topology.host_link is not None:
+        latencies.append(topology.host_link.latency)
+    return min(latencies) if latencies else 0.0
+
+
+def program_lower_bound(
+    program: LoweredProgram, topology: MachineTopology, cost_model: CostModel
+) -> float:
+    """Structural bound: ``steps x (launch overhead + one cheapest hop)``.
+
+    Sound because every lowered step runs at least one collective over a
+    group of >= 2 devices (``LoweredStep`` enforces non-empty groups and the
+    cost model rejects singletons), which pays the launch overhead plus at
+    least one latency term on whichever link it bottlenecks on, and moves a
+    non-negative volume.  A zero-step program is free.
+    """
+    if program.num_steps == 0:
+        return 0.0
+    return program.num_steps * (cost_model.launch_overhead + min_link_latency(topology))
+
+
+def _coarsest_hop_latency(
+    topology: MachineTopology, span_level: int
+) -> float:
+    """Cheapest latency of any link at least as coarse as ``span_level``.
+
+    A step whose group spans level ``span_level`` uses the level's link, but
+    a program may merge the same contributions inside an even coarser group
+    (a smaller level index); the admissible latency is therefore the minimum
+    over all levels up to and including ``span_level``.
+    """
+    latencies = [
+        topology.interconnect_for_level(level).latency
+        for level in range(span_level + 1)
+    ]
+    return min(latencies) if latencies else 0.0
+
+
+def placement_lower_bound(
+    placement: DevicePlacement,
+    request: ReductionRequest,
+    topology: MachineTopology,
+    cost_model: CostModel,
+) -> float:
+    """Bound on *any* reduction program over ``placement``'s groups.
+
+    For each reduction group of >= 2 devices, its contributions must merge
+    inside at least one collective group that spans the reduction group's
+    span level (contributions living in different level instances can only
+    combine in a step whose group contains devices of both), so some step
+    costs at least ``launch + hop latency at that span``.  Steps may serve
+    several reduction groups at once, so the program bound is the *maximum*
+    over groups, not the sum.  All-singleton reductions need no
+    communication and bound to 0.0.
+    """
+    bound = 0.0
+    for group in placement.reduction_groups(request):
+        if len(group) < 2:
+            continue
+        span = topology.span_level(_as_sequence(group))
+        group_bound = cost_model.launch_overhead + _coarsest_hop_latency(topology, span)
+        bound = max(bound, group_bound)
+    return bound
+
+
+def _as_sequence(group) -> Sequence[int]:
+    return group if isinstance(group, (list, tuple)) else tuple(group)

@@ -1,0 +1,424 @@
+"""The streaming search driver: incremental pricing with branch-and-bound.
+
+:class:`SearchDriver` replaces the materialize-everything spine
+(``collect_strategy_entries`` -> ``evaluate_entries_serial`` -> rank) with a
+single pass over lazily enumerated :class:`~repro.search.source.StrategyEntry`
+streams:
+
+* entries are priced *as they arrive* through the compiled-profile fast path
+  (:mod:`repro.cost.profile`), deduplicating identical communication
+  patterns exactly like the eager pipeline did;
+* an incumbent :class:`~repro.search.source.Watermark` tracks the best
+  exactly-priced in-space time, per matrix and globally;
+* under a :class:`~repro.query.PlanQuery` search budget (``max_candidates``
+  / ``time_budget_s``) candidates whose closed-form lower bound
+  (:mod:`repro.search.bounds`) exceeds the incumbent are rejected without
+  being priced, whole placements can be skipped before synthesis, and
+  enumeration stops at the budget — all *losslessly* for the best strategy:
+  a candidate is only ever skipped when its most optimistic time is already
+  worse than a plan the driver holds.
+
+Without a budget the driver is exhaustive and reproduces the historical
+pipeline bit for bit — same entries, same predicted floats, same
+profile-cache traffic — which is what keeps the planning service's
+fingerprint cache and the tier-1 determinism contracts sound.
+
+With a :class:`~repro.service.parallel.ParallelEvaluator`, exhaustive runs
+fan the whole stream out in one batch (identical to the historical pool
+path), while budgeted runs price candidate chunks between watermark reads so
+workers always race against a recent incumbent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cost.model import CostModel
+from repro.cost.simulator import ProgramSimulator
+from repro.search.bounds import program_lower_bound
+from repro.search.source import (
+    ROLE_BASELINE,
+    ROLE_SEED,
+    CandidateSource,
+    SearchSpace,
+    StrategyEntry,
+    Watermark,
+    default_sources,
+)
+from repro.synthesis.pipeline import PlacementCandidate
+from repro.synthesis.pruning import SearchStatistics
+from repro.topology.topology import MachineTopology
+
+__all__ = ["SearchReport", "SearchResult", "SearchDriver"]
+
+_SENTINEL = object()
+
+# Entries buffered between watermark reads on the budgeted pool path; small
+# multiples of the worker count keep the incumbent fresh without starving
+# the pool.
+_CHUNK_PER_WORKER = 4
+
+
+@dataclass
+class SearchReport:
+    """Provenance counters of one streaming search (JSON-ready via to_dict)."""
+
+    sources: List[str] = field(default_factory=list)
+    budgeted: bool = False
+    considered: int = 0          # search entries pulled from the stream
+    ranked: int = 0              # entries that were priced and kept
+    bound_rejected: int = 0      # skipped: lower bound > incumbent
+    placements_pruned: int = 0   # whole matrices skipped before synthesis
+    baseline_entries: int = 0    # baseline reference entries priced
+    seeds: int = 0               # pinned entries priced to seed the incumbent
+    matrices_reached: int = 0    # placements whose entries were seen
+    budget_stopped: bool = False  # stream cut by max_candidates
+    time_stopped: bool = False    # stream cut by time_budget_s
+    incumbent_seconds: Optional[float] = None  # final best exact time
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sources": list(self.sources),
+            "budgeted": self.budgeted,
+            "considered": self.considered,
+            "ranked": self.ranked,
+            "bound_rejected": self.bound_rejected,
+            "placements_pruned": self.placements_pruned,
+            "baseline_entries": self.baseline_entries,
+            "seeds": self.seeds,
+            "matrices_reached": self.matrices_reached,
+            "budget_stopped": self.budget_stopped,
+            "time_stopped": self.time_stopped,
+            "incumbent_seconds": self.incumbent_seconds,
+        }
+
+    def describe(self) -> str:
+        stops = []
+        if self.budget_stopped:
+            stops.append("candidate budget")
+        if self.time_stopped:
+            stops.append("time budget")
+        suffix = f"; stopped by {' + '.join(stops)}" if stops else ""
+        return (
+            f"{self.ranked} ranked of {self.considered} considered "
+            f"({self.bound_rejected} bound-rejected, "
+            f"{self.placements_pruned} placements pruned) over "
+            f"{self.matrices_reached} matrices{suffix}"
+        )
+
+
+@dataclass
+class SearchResult:
+    """Everything one driver run produced, ready for ranking."""
+
+    entries: List[StrategyEntry]
+    predicted: List[float]
+    candidates: List[PlacementCandidate]
+    baselines: Dict[str, float]
+    report: SearchReport
+    statistics: SearchStatistics
+    synthesis_seconds: float
+    evaluation_seconds: float
+
+    def best_per_matrix(self) -> Dict[int, float]:
+        """Incumbent best exact time per reached matrix (candidate index keyed)."""
+        index_of = {id(c): i for i, c in enumerate(self.candidates)}
+        best: Dict[int, float] = {}
+        for entry, seconds in zip(self.entries, self.predicted):
+            index = index_of.get(id(entry.candidate))
+            if index is None:
+                continue
+            known = best.get(index)
+            if known is None or seconds < known:
+                best[index] = seconds
+        return best
+
+
+class _SerialPricer:
+    """Exact pricing with the eager pipeline's signature deduplication.
+
+    One simulator call per distinct ``(num_devices, signature)``; duplicates
+    copy the first price without touching the simulator, so the
+    profile-cache hit/miss provenance is identical to the historical
+    ``evaluate_entries_serial`` accounting.
+    """
+
+    def __init__(self, simulator: ProgramSimulator, space: SearchSpace) -> None:
+        self.simulator = simulator
+        self.bytes_per_device = space.query.bytes_per_device
+        self.algorithm = space.query.algorithm
+        self._first: Dict[Tuple, float] = {}
+
+    def price(self, entry: StrategyEntry) -> float:
+        program = entry.lowered
+        if program.num_steps == 0:
+            return 0.0
+        key = (program.num_devices, program.signature())
+        known = self._first.get(key)
+        if known is not None:
+            return known
+        seconds = self.simulator.simulate(
+            program, self.bytes_per_device, self.algorithm
+        ).total_seconds
+        self._first[key] = seconds
+        return seconds
+
+
+class SearchDriver:
+    """Streams entries from candidate sources into an incrementally priced plan.
+
+    Parameters
+    ----------
+    topology / cost_model:
+        The pricing context (must match the query's fingerprint context).
+    simulator:
+        Optional caller-owned simulator whose compiled-profile cache then
+        persists across runs (payload ladders re-price instead of
+        recompiling).  A fresh one is used per run otherwise.
+    evaluator:
+        Optional :class:`~repro.service.parallel.ParallelEvaluator`; its
+        parent-side simulator takes over profile caching and accounting.
+    """
+
+    def __init__(
+        self,
+        topology: MachineTopology,
+        cost_model: CostModel,
+        simulator: Optional[ProgramSimulator] = None,
+        evaluator=None,
+    ) -> None:
+        self.topology = topology
+        self.cost_model = cost_model
+        self.simulator = simulator
+        self.evaluator = evaluator
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        space: SearchSpace,
+        sources: Optional[Sequence[CandidateSource]] = None,
+    ) -> SearchResult:
+        """Drive one search over ``space`` and return everything it produced."""
+        source_list = list(sources) if sources is not None else default_sources()
+        query = space.query
+        budgeted = query.has_search_budget
+        watermark = Watermark()
+        report = SearchReport(
+            sources=[source.name for source in source_list], budgeted=budgeted
+        )
+        statistics = SearchStatistics()
+        # Prefer the evaluator's parent-side simulator (shared profile cache
+        # and the counters provenance reports); a duck-typed evaluator
+        # without one falls back to the caller's or a fresh simulator, used
+        # only for bound peeks and non-batched reference pricing.
+        simulator = (
+            getattr(self.evaluator, "simulator", None)
+            if self.evaluator is not None
+            else self.simulator
+        )
+        if simulator is None:
+            simulator = (
+                self.simulator
+                if self.simulator is not None
+                else ProgramSimulator(self.topology, self.cost_model)
+            )
+        pricer = _SerialPricer(simulator, space)
+
+        entries: List[StrategyEntry] = []
+        predicted: List[float] = []
+        candidates: List[PlacementCandidate] = []
+        seen_candidates: Set[int] = set()
+        baselines: Dict[str, float] = {}
+        synthesis_seconds = 0.0
+        evaluation_seconds = 0.0
+        start = time.perf_counter()
+
+        # Exhaustive pool path: one batched evaluate over the whole stream,
+        # exactly like the historical parallel spine.
+        batch_all = self.evaluator is not None and not budgeted
+        batch_items: List[Tuple[StrategyEntry, str]] = []
+        # Budgeted pool path: survivors buffered between watermark reads.
+        chunk: List[StrategyEntry] = []
+        chunk_size = (
+            max(_CHUNK_PER_WORKER * getattr(self.evaluator, "n_workers", 1), 8)
+            if self.evaluator is not None
+            else 1
+        )
+
+        def register(candidate: PlacementCandidate) -> None:
+            if id(candidate) not in seen_candidates:
+                seen_candidates.add(id(candidate))
+                candidates.append(candidate)
+
+        def price_serial(entry: StrategyEntry) -> float:
+            nonlocal evaluation_seconds
+            t0 = time.perf_counter()
+            seconds = pricer.price(entry)
+            evaluation_seconds += time.perf_counter() - t0
+            return seconds
+
+        def record_baseline(entry: StrategyEntry, seconds: float) -> None:
+            tag = entry.tag or entry.mnemonic
+            known = baselines.get(tag)
+            if known is None or seconds < known:
+                baselines[tag] = seconds
+
+        def flush_chunk() -> None:
+            """Price the buffered search entries through the pool, bounds first."""
+            nonlocal evaluation_seconds
+            if not chunk:
+                return
+            pending = list(chunk)
+            chunk.clear()
+            t0 = time.perf_counter()
+            survivors: List[StrategyEntry] = []
+            for entry in pending:
+                if not entry.is_default_all_reduce:
+                    bound = self._entry_bound(entry, space, simulator)
+                    if bound > watermark.seconds:
+                        report.bound_rejected += 1
+                        continue
+                survivors.append(entry)
+            if survivors:
+                seconds_list = self.evaluator.evaluate(
+                    [entry.lowered for entry in survivors],
+                    query.bytes_per_device,
+                    query.algorithm,
+                )
+                for entry, seconds in zip(survivors, seconds_list):
+                    entries.append(entry)
+                    predicted.append(seconds)
+                    watermark.update(seconds)
+            evaluation_seconds += time.perf_counter() - t0
+
+        stopped = False
+        for source in source_list:
+            if stopped:
+                break
+            iterator = source.entries(space, watermark, report)
+            is_search = source.role not in (ROLE_BASELINE, ROLE_SEED)
+            while True:
+                if is_search and budgeted:
+                    if (
+                        query.max_candidates is not None
+                        and report.considered >= query.max_candidates
+                    ):
+                        report.budget_stopped = True
+                        stopped = True
+                        break
+                    # The first search entry is always considered, however
+                    # small the budget: a plan must hold at least one ranked
+                    # strategy (the first placement's default AllReduce) to
+                    # be a plan at all.
+                    if (
+                        query.time_budget_s is not None
+                        and report.considered > 0
+                        and time.perf_counter() - start > query.time_budget_s
+                    ):
+                        report.time_stopped = True
+                        stopped = True
+                        break
+                t0 = time.perf_counter()
+                item = next(iterator, _SENTINEL)
+                synthesis_seconds += time.perf_counter() - t0
+                if item is _SENTINEL:
+                    break
+                if source.role == ROLE_BASELINE:
+                    report.baseline_entries += 1
+                    if batch_all:
+                        batch_items.append((item, ROLE_BASELINE))
+                    else:
+                        record_baseline(item, price_serial(item))
+                    continue
+                if source.role == ROLE_SEED:
+                    report.seeds += 1
+                    if batch_all:
+                        batch_items.append((item, ROLE_SEED))
+                    else:
+                        seconds = price_serial(item)
+                        watermark.update(seconds)
+                    continue
+                report.considered += 1
+                register(item.candidate)
+                if batch_all:
+                    batch_items.append((item, "search"))
+                    continue
+                if self.evaluator is not None:
+                    chunk.append(item)
+                    if len(chunk) >= chunk_size:
+                        flush_chunk()
+                    continue
+                if budgeted and not item.is_default_all_reduce:
+                    t0 = time.perf_counter()
+                    bound = self._entry_bound(item, space, simulator)
+                    evaluation_seconds += time.perf_counter() - t0
+                    if bound > watermark.seconds:
+                        report.bound_rejected += 1
+                        continue
+                seconds = price_serial(item)
+                entries.append(item)
+                predicted.append(seconds)
+                if budgeted:
+                    watermark.update(seconds)
+
+        if batch_all and batch_items:
+            t0 = time.perf_counter()
+            seconds_list = self.evaluator.evaluate(
+                [entry.lowered for entry, _ in batch_items],
+                query.bytes_per_device,
+                query.algorithm,
+            )
+            for (entry, role), seconds in zip(batch_items, seconds_list):
+                if role == ROLE_BASELINE:
+                    record_baseline(entry, seconds)
+                elif role == ROLE_SEED:
+                    watermark.update(seconds)
+                else:
+                    entries.append(entry)
+                    predicted.append(seconds)
+            evaluation_seconds += time.perf_counter() - t0
+        flush_chunk()
+
+        # Aggregate the synthesizer statistics only now: a streaming source
+        # keeps accumulating counters on a candidate's SynthesisResult after
+        # its first entry was seen.
+        for candidate in candidates:
+            if candidate.synthesis is not None:
+                statistics.merge(candidate.synthesis.statistics)
+
+        report.ranked = len(entries)
+        report.matrices_reached = len(candidates)
+        if watermark.seconds < float("inf"):
+            report.incumbent_seconds = watermark.seconds
+        elif predicted:
+            report.incumbent_seconds = min(predicted)
+        return SearchResult(
+            entries=entries,
+            predicted=predicted,
+            candidates=candidates,
+            baselines=baselines,
+            report=report,
+            statistics=statistics,
+            synthesis_seconds=synthesis_seconds,
+            evaluation_seconds=evaluation_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _entry_bound(
+        self,
+        entry: StrategyEntry,
+        space: SearchSpace,
+        simulator: ProgramSimulator,
+    ) -> float:
+        """The tightest admissible lower bound available for ``entry`` now."""
+        program = entry.lowered
+        if program.num_steps == 0:
+            return 0.0
+        profile = simulator.peek_profile(program)
+        if profile is not None:
+            return profile.lower_bound(
+                space.query.bytes_per_device, space.query.algorithm, space.cost_model
+            )
+        return program_lower_bound(program, space.topology, space.cost_model)

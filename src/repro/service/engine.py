@@ -197,30 +197,38 @@ class PlanningService:
             )
             hits_before = pricing_simulator.profile_hits
             misses_before = pricing_simulator.profile_misses
-            plan, synthesis_seconds, evaluation_seconds = compute_plan(
+            computation = compute_plan(
                 self.topology,
                 self.cost_model,
-                query.axes,
-                query.request,
-                query.bytes_per_device,
-                query.algorithm,
-                max_program_size=query.max_program_size,
-                max_matrices=query.max_matrices,
+                query,
                 evaluator=evaluator,
                 simulator=None if evaluator is not None else self._simulator,
             )
+            plan = computation.plan
             outcome = PlanOutcome(
                 query=query,
                 plan=plan,
-                synthesis_seconds=synthesis_seconds,
-                evaluation_seconds=evaluation_seconds,
+                synthesis_seconds=computation.synthesis_seconds,
+                evaluation_seconds=computation.evaluation_seconds,
                 fingerprint=fingerprint,
                 cache_tier=None,
                 n_workers=self.n_workers,
                 profile_hits=pricing_simulator.profile_hits - hits_before,
                 profile_misses=pricing_simulator.profile_misses - misses_before,
+                search=computation.search_dict(),
+                synthesis_stats=computation.statistics_dict(),
             )
-            self.cache.put(fingerprint, plan.to_dict())
+            # Budgeted plans are never cached: a wall-clock budget is not a
+            # deterministic function of the query (the same fingerprint can
+            # denote different plans on a slower machine), and under a
+            # candidate budget the *tail* of the ranking depends on how the
+            # incumbent watermark advanced — the chunked pool path
+            # bound-checks whole chunks against a slightly staler watermark
+            # than the serial per-entry path, so the surviving strategy list
+            # (never the best) can differ by n_workers, which the
+            # fingerprint does not cover.
+            if not query.has_search_budget:
+                self.cache.put(fingerprint, plan.to_dict())
         outcome.total_seconds = time.perf_counter() - start
         self.requests_served += 1
         return outcome

@@ -19,7 +19,9 @@ restarts and unaffected by ``PYTHONHASHSEED``.
 ``FINGERPRINT_VERSION`` participates in the hash: bump it whenever the
 canonical form or any pipeline semantics change, and every previously cached
 plan is invalidated at once.  Version 2 switched the canonical query to
-``PlanQuery.to_dict`` (grouping the request fields under a ``"query"`` key).
+``PlanQuery.to_dict`` (grouping the request fields under a ``"query"`` key);
+version 3 added the search budget (``max_candidates`` / ``time_budget_s``)
+to the canonical query and baselines to the computed plans.
 """
 
 from __future__ import annotations
@@ -45,7 +47,7 @@ __all__ = [
     "query_fingerprint",
 ]
 
-FINGERPRINT_VERSION = 2
+FINGERPRINT_VERSION = 3
 
 
 def _link_to_dict(link: LinkSpec) -> Dict:

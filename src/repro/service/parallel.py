@@ -26,6 +26,15 @@ matching the serial path, and never cross the process boundary.
 With ``n_workers=1`` (or a single evaluatable program) everything runs
 inline in the calling process — same results, no pool overhead — which is
 also the automatic fallback on single-CPU hosts.
+
+The streaming search driver (:mod:`repro.search.driver`) uses this evaluator
+in two shapes: exhaustive queries arrive as one batched :meth:`evaluate`
+call over the whole entry stream (the historical pool path, identical
+ranking), while budgeted queries arrive as candidate *chunks* — a few
+entries per worker — priced between reads of the shared incumbent
+watermark, so each chunk is first filtered by closed-form lower bounds
+against the freshest incumbent and only survivors cross the process
+boundary.
 """
 
 from __future__ import annotations

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.dsl.pretty import program_mnemonic
 from repro.errors import SynthesisError
@@ -40,7 +40,38 @@ from repro.synthesis.synthesizer import (
     Synthesizer,
 )
 
-__all__ = ["ProgramCandidate", "PlacementCandidate", "synthesize_all"]
+__all__ = [
+    "ProgramCandidate",
+    "PlacementCandidate",
+    "enumerate_search_matrices",
+    "iter_placement_candidates",
+    "lower_program_candidate",
+    "synthesize_all",
+]
+
+
+def enumerate_search_matrices(
+    hierarchy: SystemHierarchy,
+    axes: ParallelismAxes,
+    request: ReductionRequest,
+    max_matrices: Optional[int] = None,
+):
+    """Validate the search inputs and enumerate the parallelism matrices.
+
+    The shared preamble of every placement stream — the eager pipeline below
+    and both synthesis/baseline candidate sources (:mod:`repro.search`) —
+    so input validation and the no-placement error stay identical across
+    paths.
+    """
+    request.validate_against(axes)
+    matrices = enumerate_parallelism_matrices(hierarchy, axes, max_results=max_matrices)
+    if not matrices:
+        raise SynthesisError(
+            f"no parallelism matrix exists for hierarchy {hierarchy.describe()} and "
+            f"axes {axes.describe()} (device count {hierarchy.num_devices} vs "
+            f"total parallelism {axes.total_parallelism})"
+        )
+    return matrices
 
 
 @dataclass(frozen=True)
@@ -92,7 +123,47 @@ class PlacementCandidate:
         )
 
 
-def synthesize_all(
+def lower_program_candidate(
+    synthesized,
+    synthesis_hierarchy: SynthesisHierarchy,
+    placement: DevicePlacement,
+    request: ReductionRequest,
+    validate: bool,
+) -> ProgramCandidate:
+    """Lower one synthesized program and wrap it as a :class:`ProgramCandidate`.
+
+    Shared by the eager pipeline below and the streaming synthesis source
+    (:class:`repro.search.SynthesisSource`), so both lower, validate and
+    classify programs identically.  Validation failures raise
+    :class:`~repro.errors.SynthesisError` because they indicate a bug, not a
+    user error.
+    """
+    lowered = lower_synthesized(
+        synthesized,
+        synthesis_hierarchy,
+        placement,
+        label=synthesized.program.describe(synthesis_hierarchy.names),
+    )
+    if validate and not lowered.validates_against(placement, request):
+        raise SynthesisError(
+            "synthesized program failed physical validation: "
+            f"{synthesized.program.describe(synthesis_hierarchy.names)} on "
+            f"matrix {placement.matrix.describe()}"
+        )
+    is_default = (
+        len(synthesized.program) == 1
+        and synthesized.program[0].collective.value == "AllReduce"
+        and synthesized.program[0].slice_level == 0
+    )
+    return ProgramCandidate(
+        lowered=lowered,
+        mnemonic=program_mnemonic(synthesized.program),
+        size=synthesized.size,
+        is_default_all_reduce=is_default,
+    )
+
+
+def iter_placement_candidates(
     hierarchy: SystemHierarchy,
     axes: ParallelismAxes,
     request: ReductionRequest,
@@ -101,8 +172,16 @@ def synthesize_all(
     node_limit: int = 500_000,
     validate: bool = True,
     max_matrices: Optional[int] = None,
-) -> List[PlacementCandidate]:
-    """Run the full P² synthesis pipeline.
+) -> Iterator[PlacementCandidate]:
+    """The P² synthesis pipeline as a lazy per-placement stream.
+
+    Placement enumeration and input validation happen eagerly (so bad inputs
+    raise at the call site, exactly like :func:`synthesize_all`), but program
+    synthesis — the expensive part — runs one matrix at a time as the
+    returned iterator is pulled.  A consumer that stops early (the streaming
+    search driver under a candidate or time budget) therefore never pays for
+    the placements it does not look at.  Fully consuming the iterator yields
+    exactly :func:`synthesize_all`'s candidates in the same order.
 
     Parameters
     ----------
@@ -114,54 +193,25 @@ def synthesize_all(
     max_matrices:
         Optional cap on the number of parallelism matrices considered.
     """
-    request.validate_against(axes)
-    matrices = enumerate_parallelism_matrices(hierarchy, axes, max_results=max_matrices)
-    if not matrices:
-        raise SynthesisError(
-            f"no parallelism matrix exists for hierarchy {hierarchy.describe()} and "
-            f"axes {axes.describe()} (device count {hierarchy.num_devices} vs "
-            f"total parallelism {axes.total_parallelism})"
-        )
-
+    matrices = enumerate_search_matrices(hierarchy, axes, request, max_matrices)
     synthesizer = Synthesizer(max_program_size=max_program_size, node_limit=node_limit)
-    candidates: List[PlacementCandidate] = []
-    for matrix in matrices:
-        placement = DevicePlacement(matrix)
-        synthesis_hierarchy = build_synthesis_hierarchy(matrix, request, variant)
-        start = time.perf_counter()
-        result = synthesizer.synthesize(synthesis_hierarchy)
-        elapsed = time.perf_counter() - start
 
-        programs: List[ProgramCandidate] = []
-        for synthesized in result.programs:
-            lowered = lower_synthesized(
-                synthesized,
-                synthesis_hierarchy,
-                placement,
-                label=synthesized.program.describe(synthesis_hierarchy.names),
-            )
-            if validate and not lowered.validates_against(placement, request):
-                raise SynthesisError(
-                    "synthesized program failed physical validation: "
-                    f"{synthesized.program.describe(synthesis_hierarchy.names)} on "
-                    f"matrix {matrix.describe()}"
-                )
-            is_default = (
-                len(synthesized.program) == 1
-                and synthesized.program[0].collective.value == "AllReduce"
-                and synthesized.program[0].slice_level == 0
-            )
-            programs.append(
-                ProgramCandidate(
-                    lowered=lowered,
-                    mnemonic=program_mnemonic(synthesized.program),
-                    size=synthesized.size,
-                    is_default_all_reduce=is_default,
-                )
-            )
+    def _generate() -> Iterator[PlacementCandidate]:
+        for matrix in matrices:
+            placement = DevicePlacement(matrix)
+            synthesis_hierarchy = build_synthesis_hierarchy(matrix, request, variant)
+            start = time.perf_counter()
+            result = synthesizer.synthesize(synthesis_hierarchy)
+            elapsed = time.perf_counter() - start
 
-        candidates.append(
-            PlacementCandidate(
+            programs = [
+                lower_program_candidate(
+                    synthesized, synthesis_hierarchy, placement, request, validate
+                )
+                for synthesized in result.programs
+            ]
+
+            yield PlacementCandidate(
                 matrix=matrix,
                 placement=placement,
                 hierarchy=synthesis_hierarchy,
@@ -169,5 +219,30 @@ def synthesize_all(
                 programs=programs,
                 synthesis_seconds=elapsed,
             )
+
+    return _generate()
+
+
+def synthesize_all(
+    hierarchy: SystemHierarchy,
+    axes: ParallelismAxes,
+    request: ReductionRequest,
+    max_program_size: int = DEFAULT_MAX_PROGRAM_SIZE,
+    variant: HierarchyVariant = HierarchyVariant.REDUCTION_COLLAPSED,
+    node_limit: int = 500_000,
+    validate: bool = True,
+    max_matrices: Optional[int] = None,
+) -> List[PlacementCandidate]:
+    """Run the full P² synthesis pipeline eagerly (see :func:`iter_placement_candidates`)."""
+    return list(
+        iter_placement_candidates(
+            hierarchy,
+            axes,
+            request,
+            max_program_size=max_program_size,
+            variant=variant,
+            node_limit=node_limit,
+            validate=validate,
+            max_matrices=max_matrices,
         )
-    return candidates
+    )

@@ -54,6 +54,42 @@ class SearchStatistics:
         self.programs_found += 1
         self.per_size_counts[size] = self.per_size_counts.get(size, 0) + 1
 
+    def merge(self, other: "SearchStatistics") -> None:
+        """Fold another run's counters into this one (per-placement -> per-plan).
+
+        The search driver aggregates the per-placement synthesizer statistics
+        this way so one query's :class:`~repro.query.PlanOutcome` can report
+        the whole search's counters.
+        """
+        self.nodes_expanded += other.nodes_expanded
+        self.steps_attempted += other.steps_attempted
+        self.steps_invalid += other.steps_invalid
+        self.branches_pruned_goal += other.branches_pruned_goal
+        self.programs_found += other.programs_found
+        self.duplicate_programs += other.duplicate_programs
+        self.hit_node_limit = self.hit_node_limit or other.hit_node_limit
+        for size, count in other.per_size_counts.items():
+            self.per_size_counts[size] = self.per_size_counts.get(size, 0) + count
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form, surfaced in planning provenance and sweep records.
+
+        ``per_size_counts`` keys become strings (JSON objects cannot have
+        integer keys) in ascending size order.
+        """
+        return {
+            "nodes_expanded": self.nodes_expanded,
+            "steps_attempted": self.steps_attempted,
+            "steps_invalid": self.steps_invalid,
+            "branches_pruned_goal": self.branches_pruned_goal,
+            "programs_found": self.programs_found,
+            "duplicate_programs": self.duplicate_programs,
+            "hit_node_limit": self.hit_node_limit,
+            "per_size_counts": {
+                str(size): count for size, count in sorted(self.per_size_counts.items())
+            },
+        }
+
     def describe(self) -> str:
         sizes = ", ".join(f"size {k}: {v}" for k, v in sorted(self.per_size_counts.items()))
         return (

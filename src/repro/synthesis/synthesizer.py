@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.dsl.grouping import Groups, enumerate_instructions
 from repro.dsl.program import ReductionInstruction, ReductionProgram
@@ -175,6 +175,90 @@ class Synthesizer:
         elapsed = time.perf_counter() - start
         programs.sort(key=lambda p: (p.size, p.program.signature()))
         return SynthesisResult(hierarchy, programs, statistics, elapsed, self.max_program_size)
+
+    def iter_synthesize_sizes(
+        self,
+        hierarchy: SynthesisHierarchy,
+        statistics: Optional[SearchStatistics] = None,
+    ) -> Iterator[Tuple[int, List[SynthesizedProgram]]]:
+        """Iterative-deepening synthesis: one ``(size, programs)`` batch per pass.
+
+        Pass ``k`` runs a depth-``k`` search and yields exactly the size-``k``
+        programs, sorted by signature — so concatenating the batches
+        reproduces :meth:`synthesize`'s ``(size, signature)`` program order
+        while letting a consumer stop between passes.  That is the lever the
+        budgeted search driver pulls: the deepest pass dominates the
+        enumeration cost (the search tree grows with its branching factor),
+        so abandoning this generator after an early pass skips most of a
+        placement's synthesis work.  The re-exploration of shallow prefixes
+        across passes costs a constant factor, which is why the exhaustive
+        pipeline keeps the single-pass :meth:`synthesize`.
+
+        A program's signature determines its size (one entry per
+        instruction), so per-pass signature deduplication finds exactly the
+        programs the single pass would.  ``statistics`` accumulates across
+        passes when given (per-pass node counts add up, so ``nodes_expanded``
+        exceeds the single-pass count); the node limit applies to the
+        accumulated total and ends enumeration once hit.
+        """
+        stats = statistics if statistics is not None else SearchStatistics()
+        alphabet = self.instruction_alphabet(hierarchy)
+        initial = hierarchy.initial_context()
+        goal = hierarchy.goal()
+        if initial == goal:
+            return  # degenerate: nothing to reduce (reduction group size 1)
+
+        seen_signatures: set = set()
+        prefix_instructions: List[ReductionInstruction] = []
+        prefix_groups: List[Groups] = []
+
+        for target_size in range(1, self.max_program_size + 1):
+            if stats.hit_node_limit:
+                return
+            batch: List[SynthesizedProgram] = []
+
+            def _dfs(context: StateContext, depth: int) -> None:
+                if stats.nodes_expanded >= self.node_limit:
+                    stats.hit_node_limit = True
+                    return
+                stats.nodes_expanded += 1
+                for instruction, groups in alphabet:
+                    if stats.hit_node_limit:
+                        return
+                    stats.steps_attempted += 1
+                    try:
+                        next_context = instruction.apply_to_groups(context, groups)
+                    except InvalidCollectiveError:
+                        stats.steps_invalid += 1
+                        continue
+                    if not context_within_goal(next_context, goal):
+                        stats.branches_pruned_goal += 1
+                        continue
+                    prefix_instructions.append(instruction)
+                    prefix_groups.append(groups)
+                    if next_context == goal:
+                        # A goal at depth < target is a shorter program: an
+                        # earlier pass already emitted it, and (like the
+                        # single-pass search) nothing extends past the goal.
+                        if depth + 1 == target_size:
+                            program = ReductionProgram(tuple(prefix_instructions))
+                            signature = program.signature()
+                            if signature in seen_signatures:
+                                stats.duplicate_programs += 1
+                            else:
+                                seen_signatures.add(signature)
+                                batch.append(
+                                    SynthesizedProgram(program, tuple(prefix_groups))
+                                )
+                                stats.record_program(len(program))
+                    elif depth + 1 < target_size:
+                        _dfs(next_context, depth + 1)
+                    prefix_instructions.pop()
+                    prefix_groups.pop()
+
+            _dfs(initial, 0)
+            batch.sort(key=lambda p: p.program.signature())
+            yield target_size, batch
 
 
 def synthesize_programs(

@@ -143,7 +143,9 @@ class TestEquivalenceClasses:
 
 class TestExplicitEdgePaths:
     def zero_cost_topology(self) -> MachineTopology:
-        zero = lambda name, kind, bw: LinkSpec(name, kind, bandwidth=bw, latency=0.0)
+        def zero(name, kind, bw):
+            return LinkSpec(name, kind, bandwidth=bw, latency=0.0)
+
         return MachineTopology(
             name="zero-latency",
             hierarchy=SystemHierarchy.from_pairs([("node", 2), ("gpu", 2)]),

@@ -61,7 +61,12 @@ class TestQueries:
 
     def test_len_iter_getitem(self, figure2a_hierarchy):
         assert len(figure2a_hierarchy) == 4
-        assert [l.name for l in figure2a_hierarchy] == ["rack", "server", "cpu", "gpu"]
+        assert [level.name for level in figure2a_hierarchy] == [
+            "rack",
+            "server",
+            "cpu",
+            "gpu",
+        ]
         assert figure2a_hierarchy[3].cardinality == 4
 
     def test_describe(self, figure2a_hierarchy):

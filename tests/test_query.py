@@ -96,6 +96,8 @@ class TestPlanQueryRoundTrip:
             "algorithm",
             "max_matrices",
             "max_program_size",
+            "max_candidates",
+            "time_budget_s",
         ]
 
     def test_from_dict_accepts_legacy_file_shape(self):
@@ -198,10 +200,10 @@ class TestPlanQueryValidation:
 
 
 class TestGoldenFingerprint:
-    """Pin the v2 canonical form: changing it must force a version bump."""
+    """Pin the v3 canonical form: changing it must force a version bump."""
 
-    def test_version_is_2(self):
-        assert FINGERPRINT_VERSION == 2
+    def test_version_is_3(self):
+        assert FINGERPRINT_VERSION == 3
 
     def test_canonical_form_golden(self, topology, query_84):
         canonical = canonical_plan_query(topology, query_84, CostModel())
@@ -211,7 +213,7 @@ class TestGoldenFingerprint:
             "query",
             "topology",
         ]
-        assert canonical["fingerprint_version"] == 2
+        assert canonical["fingerprint_version"] == 3
         assert canonical["query"] == {
             "axes": {"sizes": [8, 4], "names": ["data", "model"]},
             "request": {"axes": [0]},
@@ -219,6 +221,8 @@ class TestGoldenFingerprint:
             "algorithm": "ring",
             "max_matrices": None,
             "max_program_size": 3,
+            "max_candidates": None,
+            "time_budget_s": None,
         }
 
     def test_fingerprint_is_sha256_of_compact_encoding(self, topology, query_84):

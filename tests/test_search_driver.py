@@ -1,0 +1,360 @@
+"""Tests for the streaming search driver (repro.search.driver / bounds).
+
+The two load-bearing guarantees:
+
+* **Exhaustive equivalence** — without a search budget the streaming driver
+  reproduces the historical materialize-then-evaluate spine bit for bit
+  (same entries, same floats, same profile-cache traffic).
+* **Lossless pruning** — with bounds enabled (any search budget) the best
+  strategy is bit-identical (cost *and* program signature) to the
+  exhaustive plan, across shapes, payloads and both NCCL algorithms,
+  because every lower bound is admissible: it never exceeds the exact
+  predicted time it bounds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api import P2
+from repro.cost.model import CostModel
+from repro.cost.simulator import ProgramSimulator
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.query import PlanQuery
+from repro.search import (
+    min_link_latency,
+    placement_lower_bound,
+    program_lower_bound,
+)
+from repro.cost.nccl import NCCLAlgorithm
+from repro.synthesis.pipeline import synthesize_all
+from repro.synthesis.pruning import SearchStatistics
+from repro.topology.gcp import a100_system, v100_system
+
+MB = 1 << 20
+
+# The lossless property is checked over a grid of shapes x payloads x
+# algorithms: small symmetric topologies where the exhaustive answer is
+# cheap to compute, including a singleton-reduction shape (zero-cost best).
+SHAPES = [
+    ((8, 4), (0,)),
+    ((4, 8), (1,)),
+    ((32,), (0,)),
+    ((2, 16), (0,)),
+]
+PAYLOADS = [64 * 1024, 1 * MB, 64 * MB]
+ALGORITHMS = [NCCLAlgorithm.RING, NCCLAlgorithm.TREE]
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return a100_system(num_nodes=2)
+
+
+def _query(shape, reduce_axes, payload, algorithm, **kwargs):
+    return PlanQuery(
+        axes=ParallelismAxes(shape),
+        request=ReductionRequest(reduce_axes),
+        bytes_per_device=payload,
+        algorithm=algorithm,
+        max_program_size=3,
+        **kwargs,
+    )
+
+
+def _ranking(plan):
+    return [
+        (s.matrix.entries, s.mnemonic, s.predicted_seconds, s.is_default_all_reduce)
+        for s in plan.strategies
+    ]
+
+
+class TestLosslessPruning:
+    @pytest.mark.parametrize("shape,reduce_axes", SHAPES)
+    @pytest.mark.parametrize("payload", PAYLOADS)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_bounded_search_returns_bit_identical_best(
+        self, topology, shape, reduce_axes, payload, algorithm
+    ):
+        exhaustive = P2(topology, max_program_size=3).plan(
+            _query(shape, reduce_axes, payload, algorithm)
+        )
+        pruned = P2(topology, max_program_size=3).plan(
+            # A non-binding candidate budget turns bounds-based pruning on
+            # without truncating enumeration: any difference from the
+            # exhaustive best is a pruning (soundness) bug.
+            _query(shape, reduce_axes, payload, algorithm, max_candidates=10**9)
+        )
+        assert pruned.search["budgeted"] and not pruned.search["budget_stopped"]
+        assert pruned.best.predicted_seconds == exhaustive.best.predicted_seconds
+        assert (
+            pruned.best.program.signature() == exhaustive.best.program.signature()
+        )
+        assert pruned.best.matrix == exhaustive.best.matrix
+        # Survivors keep the exhaustive ranking's relative order and floats.
+        exhaustive_ranking = _ranking(exhaustive.plan)
+        assert all(row in exhaustive_ranking for row in _ranking(pruned.plan))
+
+    def test_zero_cost_best_prunes_everything_else(self, topology):
+        # Reducing over a singleton axis needs no communication: the free
+        # plan is found first and every communicating candidate and
+        # placement is bound-rejected.
+        query = PlanQuery(
+            axes=ParallelismAxes((32, 1)),
+            request=ReductionRequest((1,)),
+            bytes_per_device=1 * MB,
+            max_program_size=3,
+            max_candidates=10**9,
+        )
+        outcome = P2(topology, max_program_size=3).plan(query)
+        assert outcome.best.predicted_seconds == 0.0
+        assert outcome.plan.speedup_over_default() == 1.0
+
+
+class TestExhaustiveEquivalence:
+    def test_streaming_spine_matches_legacy_eager_pipeline(self, topology):
+        """The refactor contract: same entries, same floats, same counters."""
+        from repro.api import (
+            collect_strategy_entries,
+            evaluate_entries_serial,
+            rank_entries,
+        )
+
+        query = _query((8, 4), (0,), 64 * MB, NCCLAlgorithm.RING)
+        candidates = synthesize_all(
+            topology.hierarchy, query.axes, query.request, max_program_size=3
+        )
+        entries = collect_strategy_entries(candidates, query.request)
+        legacy_simulator = ProgramSimulator(topology, CostModel())
+        predicted = evaluate_entries_serial(
+            entries,
+            topology,
+            CostModel(),
+            query.bytes_per_device,
+            query.algorithm,
+            legacy_simulator,
+        )
+        legacy = rank_entries(entries, predicted, bytes_per_device=query.bytes_per_device)
+
+        outcome = P2(topology, max_program_size=3).plan(query)
+        assert [
+            (s.matrix.entries, s.mnemonic, s.predicted_seconds) for s in legacy
+        ] == [
+            (s.matrix.entries, s.mnemonic, s.predicted_seconds)
+            for s in outcome.plan.strategies
+        ]
+        # Per-query profile compilations match the legacy dedup accounting
+        # (baseline programs share the synthesized signatures or add their
+        # own, but within one query every signature compiles exactly once).
+        assert outcome.profile_hits == 0
+        assert outcome.profile_misses >= legacy_simulator.profile_misses
+
+    def test_parallel_budgeted_matches_serial_budgeted(self, topology):
+        query = _query((8, 4), (0,), 16 * MB, NCCLAlgorithm.RING, max_candidates=10**9)
+        serial = P2(topology, max_program_size=3).plan(query)
+        parallel = P2(topology, max_program_size=3).plan(query, n_workers=2)
+        assert parallel.best.predicted_seconds == serial.best.predicted_seconds
+        assert (
+            parallel.best.program.signature() == serial.best.program.signature()
+        )
+        assert parallel.plan.baselines == serial.plan.baselines
+
+
+class TestBudgets:
+    def test_max_candidates_truncates_enumeration(self, topology):
+        query = _query((8, 4), (0,), 16 * MB, NCCLAlgorithm.RING, max_candidates=3)
+        outcome = P2(topology, max_program_size=3).plan(query)
+        assert outcome.search["budget_stopped"]
+        assert outcome.search["considered"] == 3
+        assert outcome.num_strategies <= 3
+        # The plan still ranks and still holds a default AllReduce.
+        assert outcome.plan.default_all_reduce() is not None
+        assert outcome.best.predicted_seconds == min(
+            s.predicted_seconds for s in outcome.plan.strategies
+        )
+
+    def test_time_budget_always_considers_one_entry(self, topology):
+        query = _query(
+            (8, 4), (0,), 16 * MB, NCCLAlgorithm.RING, time_budget_s=1e-9
+        )
+        outcome = P2(topology, max_program_size=3).plan(query)
+        assert outcome.search["time_stopped"]
+        assert outcome.num_strategies >= 1
+        outcome.to_dict()  # still serializable end to end
+
+    def test_budget_validation(self):
+        from repro.errors import QueryError
+
+        for bad in ({"max_candidates": 0}, {"time_budget_s": 0},
+                    {"time_budget_s": float("nan")}, {"time_budget_s": float("inf")}):
+            with pytest.raises(QueryError):
+                PlanQuery(
+                    ParallelismAxes.of(8, 4), ReductionRequest.over(0), 1 * MB, **bad
+                )
+
+    def test_budgeted_plans_are_never_cached(self, topology):
+        from repro.service import PlanningService
+
+        with PlanningService(topology, max_program_size=3) as service:
+            query = _query((8, 4), (0,), 1 * MB, NCCLAlgorithm.RING, max_candidates=4)
+            assert not service.plan(query).cache_hit
+            # The ranking's tail under a budget can depend on the worker
+            # count, which the fingerprint does not cover, so a repeat is
+            # recomputed rather than served.
+            assert not service.plan(query).cache_hit
+            unbudgeted = _query((8, 4), (0,), 1 * MB, NCCLAlgorithm.RING)
+            assert not service.plan(unbudgeted).cache_hit
+            assert service.plan(unbudgeted).cache_hit
+
+    def test_budget_round_trips_and_fingerprints(self, topology):
+        from repro.service.fingerprint import plan_query_fingerprint
+
+        base = _query((8, 4), (0,), 1 * MB, NCCLAlgorithm.RING)
+        budgeted = dataclasses.replace(base, max_candidates=7, time_budget_s=2.5)
+        assert PlanQuery.from_dict(budgeted.to_dict()) == budgeted
+        assert plan_query_fingerprint(
+            topology, base, CostModel()
+        ) != plan_query_fingerprint(topology, budgeted, CostModel())
+
+
+class TestDriverIntrospection:
+    def test_best_per_matrix_tracks_incumbents(self, topology):
+        from repro.search import SearchDriver, SearchSpace
+
+        query = _query((8, 4), (0,), 1 * MB, NCCLAlgorithm.RING)
+        driver = SearchDriver(topology, CostModel())
+        result = driver.run(
+            SearchSpace(topology=topology, cost_model=CostModel(), query=query)
+        )
+        best = result.best_per_matrix()
+        assert set(best) == set(range(len(result.candidates)))
+        for index, candidate in enumerate(result.candidates):
+            expected = min(
+                seconds
+                for entry, seconds in zip(result.entries, result.predicted)
+                if entry.candidate is candidate
+            )
+            assert best[index] == expected
+        assert min(best.values()) == result.report.incumbent_seconds
+
+
+class TestBoundsAdmissibility:
+    """Every bound must sit at or below the exact predicted time it bounds."""
+
+    @pytest.mark.parametrize("system", ["a100", "v100"])
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_profile_and_program_bounds_never_exceed_exact_price(
+        self, system, algorithm
+    ):
+        topology = (a100_system if system == "a100" else v100_system)(num_nodes=2)
+        shape = (topology.num_devices // 4, 4)
+        candidates = synthesize_all(
+            topology.hierarchy,
+            ParallelismAxes(shape),
+            ReductionRequest((0,)),
+            max_program_size=3,
+        )
+        model = CostModel()
+        simulator = ProgramSimulator(topology, model)
+        for candidate in candidates:
+            for program in candidate.programs:
+                lowered = program.lowered
+                if lowered.num_steps == 0:
+                    continue
+                profile = simulator.profile_for(lowered)
+                for payload in PAYLOADS:
+                    exact = simulator.simulate(
+                        lowered, payload, algorithm
+                    ).total_seconds
+                    assert (
+                        profile.lower_bound(payload, algorithm, model) <= exact
+                    )
+                    assert program_lower_bound(lowered, topology, model) <= exact
+
+    def test_placement_bound_never_exceeds_any_program(self, topology):
+        request = ReductionRequest((0,))
+        model = CostModel()
+        simulator = ProgramSimulator(topology, model)
+        candidates = synthesize_all(
+            topology.hierarchy, ParallelismAxes((8, 4)), request, max_program_size=3
+        )
+        for candidate in candidates:
+            bound = placement_lower_bound(
+                candidate.placement, request, topology, model
+            )
+            for program in candidate.programs:
+                for payload in PAYLOADS:
+                    for algorithm in ALGORITHMS:
+                        exact = simulator.simulate(
+                            program.lowered, payload, algorithm
+                        ).total_seconds
+                        assert bound <= exact
+
+    def test_min_link_latency_covers_host_link(self, topology):
+        assert min_link_latency(topology) <= min(
+            link.latency for link in topology.interconnects
+        )
+
+
+class TestSearchStatisticsSurfacing:
+    def test_merge_and_to_dict(self):
+        first = SearchStatistics(nodes_expanded=3, per_size_counts={1: 1, 2: 2})
+        second = SearchStatistics(
+            nodes_expanded=4, hit_node_limit=True, per_size_counts={2: 1, 3: 5}
+        )
+        first.record_program(2)
+        first.merge(second)
+        assert first.nodes_expanded == 7
+        assert first.hit_node_limit
+        assert first.per_size_counts == {1: 1, 2: 4, 3: 5}
+        encoded = first.to_dict()
+        assert encoded["per_size_counts"] == {"1": 1, "2": 4, "3": 5}
+        assert list(encoded["per_size_counts"]) == ["1", "2", "3"]
+
+    def test_outcome_provenance_carries_search_and_synthesis_stats(self, topology):
+        import json
+
+        outcome = P2(topology, max_program_size=3).plan(
+            _query((8, 4), (0,), 1 * MB, NCCLAlgorithm.RING)
+        )
+        provenance = outcome.provenance()
+        assert provenance["search"]["considered"] == outcome.num_strategies
+        assert provenance["synthesis_stats"]["programs_found"] > 0
+        json.dumps(outcome.to_dict())  # strict JSON end to end
+
+    def test_sweep_records_carry_search_provenance(self, tmp_path):
+        from repro.analysis.serialization import iter_jsonl_records
+        from repro.evaluation.runner import SweepRunner
+        from repro.evaluation.scenarios import PRESETS
+
+        scenarios = PRESETS["smoke"].scenarios()[:1]
+        runner = SweepRunner(measure_programs=False)
+        out = tmp_path / "sweep.jsonl"
+        results = runner.run_stream(scenarios, out_path=out)
+        assert results[0].search is not None
+        assert results[0].synthesis_stats is not None
+        record = next(iter_jsonl_records(out))
+        assert record["provenance"]["search"]["considered"] > 0
+        assert record["provenance"]["synthesis_stats"]["programs_found"] > 0
+        assert set(record["baseline_speedups"]) >= {"all_reduce"}
+        # ... and they survive the record round trip.
+        from repro.analysis.serialization import result_from_record
+
+        restored = result_from_record(record)
+        assert restored.search == results[0].search
+        assert restored.synthesis_stats == results[0].synthesis_stats
+        assert restored.baseline_speedups == results[0].baseline_speedups
+
+
+class TestOptimizeDeprecation:
+    def test_optimize_warns_and_matches_plan(self, topology):
+        p2 = P2(topology, max_program_size=3)
+        query = _query((8, 4), (0,), 1 * MB, NCCLAlgorithm.RING)
+        with pytest.warns(DeprecationWarning, match="P2.optimize is deprecated"):
+            legacy = p2.optimize(
+                query.axes, query.request, query.bytes_per_device, query.algorithm
+            )
+        modern = p2.plan(query).plan
+        assert _ranking(legacy) == _ranking(modern)
