@@ -1,0 +1,120 @@
+"""Benchmark O1 — telemetry must be free when off and cheap when on.
+
+The telemetry spine leaves its instrumentation permanently in the hot paths
+(search driver, simulator, service); the contract that makes this acceptable
+is the :class:`~repro.obs.NullRecorder`: with telemetry disabled every
+instrumentation point costs one attribute lookup plus an empty method call.
+This benchmark plans the same query twice per round — once under the null
+recorder, once under a live :class:`~repro.obs.Recorder` — and checks:
+
+* the disabled-path median (gated against the committed baseline, so a
+  future change cannot quietly make the null path expensive);
+* the enabled/disabled overhead ratio stays under ``OVERHEAD_BAR`` (spans
+  and counters are cheap enough to turn on in production);
+* the winner is bit-identical in both modes (telemetry observes the search,
+  it never perturbs it) and every traced outcome carries a trace id.
+
+``spans_per_plan`` is structural for a fixed workload (one plan span, one
+search run, one span per candidate source, one per compiled profile class,
+one per priced strategy) and therefore gates exactly.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.api import P2
+from repro.evaluation.config import SystemKind, paper_payload_bytes
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.obs import NULL_RECORDER, Recorder, use_recorder
+from repro.query import PlanQuery
+
+OVERHEAD_BAR = 1.5
+ROUNDS = 3
+
+
+def _query(payload_scale: float) -> PlanQuery:
+    nodes = 2
+    return PlanQuery(
+        axes=ParallelismAxes((8, 4)),
+        request=ReductionRequest((0,)),
+        bytes_per_device=max(1, int(paper_payload_bytes(nodes) * payload_scale)),
+    )
+
+
+def _plan_once(topology, query):
+    # A fresh tool per plan: neither mode may warm the other's profile cache.
+    tool = P2(topology)
+    start = time.perf_counter()
+    outcome = tool.plan(query)
+    return outcome, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="telemetry-overhead")
+def test_disabled_telemetry_is_free_and_enabled_is_cheap(
+    benchmark, save_artifact, bench_json, payload_scale
+):
+    topology = SystemKind("a100").build(2)
+    query = _query(payload_scale)
+
+    def both_modes():
+        disabled, enabled = [], []
+        winners = set()
+        spans_per_plan = strategies = 0
+        traced = True
+        for _ in range(ROUNDS):
+            with use_recorder(NULL_RECORDER):
+                outcome, seconds = _plan_once(topology, query)
+            disabled.append(seconds)
+            winners.add(
+                (outcome.best.predicted_seconds, outcome.best.program.signature())
+            )
+            strategies = outcome.num_strategies
+
+            recorder = Recorder()
+            with use_recorder(recorder):
+                outcome, seconds = _plan_once(topology, query)
+            enabled.append(seconds)
+            winners.add(
+                (outcome.best.predicted_seconds, outcome.best.program.signature())
+            )
+            traced = traced and outcome.trace_id is not None
+            spans_per_plan = len(recorder.snapshot().spans)
+        return disabled, enabled, winners, spans_per_plan, strategies, traced
+
+    disabled, enabled, winners, spans_per_plan, strategies, traced = (
+        benchmark.pedantic(both_modes, rounds=1, iterations=1)
+    )
+
+    disabled_median = statistics.median(disabled)
+    enabled_median = statistics.median(enabled)
+    ratio = enabled_median / disabled_median
+    text = (
+        f"Telemetry overhead over {ROUNDS} rounds "
+        f"({strategies} strategies, {spans_per_plan} spans per traced plan)\n"
+        f"  disabled (NullRecorder) median: {disabled_median:.4f}s\n"
+        f"  enabled  (Recorder)     median: {enabled_median:.4f}s\n"
+        f"  overhead ratio: {ratio:.3f}x (bar: {OVERHEAD_BAR}x)"
+    )
+    save_artifact("telemetry_overhead", text)
+    bench_json(
+        "telemetry_overhead",
+        disabled_median,
+        counters={
+            "rounds": ROUNDS,
+            "spans_per_plan": spans_per_plan,
+            "strategies": strategies,
+        },
+    )
+
+    # Telemetry observes the search; it must never perturb its result.
+    assert len(winners) == 1, f"telemetry changed the winner: {winners}"
+    assert traced, "an enabled-telemetry outcome lost its trace_id"
+    assert spans_per_plan > 0, "the traced plan recorded no spans"
+    assert ratio < OVERHEAD_BAR, (
+        f"enabled telemetry costs {ratio:.2f}x the disabled path "
+        f"(bar: {OVERHEAD_BAR}x)"
+    )

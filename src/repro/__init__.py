@@ -18,6 +18,8 @@ The most convenient entry point is :class:`repro.api.P2`:
 Lower-level building blocks live in the subpackages listed in ``DESIGN.md``.
 """
 
+import logging as _logging
+
 from repro._version import __version__
 from repro.hierarchy import (
     DevicePlacement,
@@ -35,6 +37,11 @@ from repro.synthesis import (
     synthesize_all,
     synthesize_programs,
 )
+
+# Library logging etiquette: the package logs under the "repro" hierarchy and
+# emits nothing unless the application configures handlers (the CLI's
+# --verbose flags do; see repro.cli).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __all__ = [
     "__version__",

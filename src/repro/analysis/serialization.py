@@ -174,6 +174,7 @@ def results_from_json(text: str) -> List[SweepResult]:
                 search=provenance.get("search"),
                 synthesis_stats=provenance.get("synthesis_stats"),
                 baseline_speedups=entry.get("baseline_speedups"),
+                trace_id=provenance.get("trace_id"),
             )
         )
     return results
@@ -226,6 +227,7 @@ def result_from_record(data: Dict) -> SweepResult:
         search=provenance.get("search"),
         synthesis_stats=provenance.get("synthesis_stats"),
         baseline_speedups=data.get("baseline_speedups"),
+        trace_id=provenance.get("trace_id"),
     )
 
 

@@ -34,6 +34,7 @@ from repro.hierarchy.levels import SystemHierarchy
 from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
 from repro.hierarchy.matrix import ParallelismMatrix
 from repro.hierarchy.placement import DevicePlacement
+from repro.obs.recorder import get_recorder
 from repro.query import PlanOutcome, PlanQuery
 from repro.runtime.events import MeasurementResult, TestbedSimulator
 from repro.runtime.noise import NoiseModel
@@ -445,6 +446,7 @@ def compute_plan(
     validate: bool = True,
     simulator: Optional[ProgramSimulator] = None,
     sources: Optional[Sequence[CandidateSource]] = None,
+    recorder=None,
 ) -> PlanComputation:
     """The cold-path pipeline shared by :meth:`P2.plan` and the service.
 
@@ -465,8 +467,18 @@ def compute_plan(
     :attr:`~repro.query.PlanQuery.time_budget_s`) enumeration stops at the
     budget and lower-bound pruning drops provably non-optimal candidates —
     losslessly for the best strategy.
+
+    ``recorder`` routes the driver's search spans and counters into a
+    specific telemetry recorder (:mod:`repro.obs`); the process-wide one is
+    used when omitted.
     """
-    driver = SearchDriver(topology, cost_model, simulator=simulator, evaluator=evaluator)
+    driver = SearchDriver(
+        topology,
+        cost_model,
+        simulator=simulator,
+        evaluator=evaluator,
+        recorder=recorder,
+    )
     space = SearchSpace(
         topology=topology,
         cost_model=cost_model,
@@ -634,62 +646,69 @@ class P2:
         from repro.service.fingerprint import plan_query_fingerprint
 
         start = time.perf_counter()
-        if evaluator is None and n_workers is not None and n_workers > 1:
-            from repro.service.parallel import ParallelEvaluator
+        recorder = get_recorder()
+        with recorder.span("plan") as root:
+            if evaluator is None and n_workers is not None and n_workers > 1:
+                from repro.service.parallel import ParallelEvaluator
 
-            with ParallelEvaluator(self.topology, self.cost_model, n_workers) as pool:
-                hits_before, misses_before = pool.profile_counters()
+                with ParallelEvaluator(
+                    self.topology, self.cost_model, n_workers, recorder=recorder
+                ) as pool:
+                    hits_before, misses_before = pool.profile_counters()
+                    computation = compute_plan(
+                        self.topology,
+                        self.cost_model,
+                        query,
+                        evaluator=pool,
+                        node_limit=self.node_limit,
+                        validate=self.validate_lowering,
+                        sources=sources,
+                        recorder=recorder,
+                    )
+                    hits_after, misses_after = pool.profile_counters()
+            else:
+                # Both the external-evaluator path and the serial path account
+                # profile-cache traffic on the simulator that actually priced the
+                # candidates (the evaluator's own, or this tool's shared one).
+                simulator = (
+                    getattr(evaluator, "simulator", None)
+                    if evaluator is not None
+                    else self.simulator
+                )
+                hits_before, misses_before = _profile_counters(simulator)
                 computation = compute_plan(
                     self.topology,
                     self.cost_model,
                     query,
-                    evaluator=pool,
+                    evaluator=evaluator,
                     node_limit=self.node_limit,
                     validate=self.validate_lowering,
+                    simulator=None if evaluator is not None else simulator,
                     sources=sources,
+                    recorder=recorder,
                 )
-                hits_after, misses_after = pool.profile_counters()
-        else:
-            # Both the external-evaluator path and the serial path account
-            # profile-cache traffic on the simulator that actually priced the
-            # candidates (the evaluator's own, or this tool's shared one).
-            simulator = (
-                getattr(evaluator, "simulator", None)
-                if evaluator is not None
-                else self.simulator
+                hits_after, misses_after = _profile_counters(simulator)
+            if evaluator is not None:
+                workers = getattr(evaluator, "n_workers", 1)
+            elif n_workers is not None and n_workers > 1:
+                workers = n_workers
+            else:
+                workers = 1
+            return PlanOutcome(
+                query=query,
+                plan=computation.plan,
+                synthesis_seconds=computation.synthesis_seconds,
+                evaluation_seconds=computation.evaluation_seconds,
+                total_seconds=time.perf_counter() - start,
+                fingerprint=plan_query_fingerprint(self.topology, query, self.cost_model),
+                cache_tier=None,
+                n_workers=workers,
+                profile_hits=hits_after - hits_before,
+                profile_misses=misses_after - misses_before,
+                search=computation.search_dict(),
+                synthesis_stats=computation.statistics_dict(),
+                trace_id=root.trace_id,
             )
-            hits_before, misses_before = _profile_counters(simulator)
-            computation = compute_plan(
-                self.topology,
-                self.cost_model,
-                query,
-                evaluator=evaluator,
-                node_limit=self.node_limit,
-                validate=self.validate_lowering,
-                simulator=None if evaluator is not None else simulator,
-                sources=sources,
-            )
-            hits_after, misses_after = _profile_counters(simulator)
-        if evaluator is not None:
-            workers = getattr(evaluator, "n_workers", 1)
-        elif n_workers is not None and n_workers > 1:
-            workers = n_workers
-        else:
-            workers = 1
-        return PlanOutcome(
-            query=query,
-            plan=computation.plan,
-            synthesis_seconds=computation.synthesis_seconds,
-            evaluation_seconds=computation.evaluation_seconds,
-            total_seconds=time.perf_counter() - start,
-            fingerprint=plan_query_fingerprint(self.topology, query, self.cost_model),
-            cache_tier=None,
-            n_workers=workers,
-            profile_hits=hits_after - hits_before,
-            profile_misses=misses_after - misses_before,
-            search=computation.search_dict(),
-            synthesis_stats=computation.statistics_dict(),
-        )
 
     def plan_many(
         self,

@@ -12,7 +12,10 @@
 * ``repro-cli emit`` — print the best strategy as XLA-style collective ops.
 * ``repro-cli serve-batch`` — answer a batch of optimize queries through the
   planning service (plan cache + optional worker pool + per-request stats).
-* ``repro-cli cache stats | clear`` — inspect or clear an on-disk plan cache.
+* ``repro-cli cache stats | clear`` — inspect or clear an on-disk plan cache
+  (``stats --json`` emits the telemetry snapshot schema).
+* ``repro-cli stats`` — pretty-print a telemetry file written by
+  ``--trace-out`` (Chrome trace, bare snapshot JSON or JSONL).
 * ``repro-cli table3 | table4 | table5`` — regenerate the paper tables.
 * ``repro-cli figure11`` — regenerate the Figure 11 series.
 * ``repro-cli sweep`` — run a scenario sweep: a named preset
@@ -23,11 +26,17 @@
 
 All commands accept ``--payload-scale`` so they can be run quickly on a
 laptop; the default reproduces the paper's full payload sizes.
+
+Observability: ``optimize``, ``serve-batch`` and ``sweep`` accept
+``--trace-out FILE`` (enable the telemetry recorder, write a
+Perfetto-loadable Chrome trace on exit), and the root parser accepts
+``-v``/``-vv`` and ``--quiet`` to configure the ``repro`` stdlib logger.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Optional, Sequence
 
@@ -59,7 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-cli",
         description="Reproduction of P2: parallelism placement and reduction strategy synthesis",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log INFO messages from the repro package; "
+                             "repeat (-vv) for DEBUG")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="log only errors")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_out(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace-out", type=str, default=None, metavar="FILE",
+                       help="enable telemetry and write a Chrome trace-event "
+                            "JSON file (Perfetto-loadable; also readable by "
+                            "`repro-cli stats`) on exit")
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--payload-scale", type=float, default=1.0,
@@ -104,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="evaluate candidates on a process pool of this size")
     p_opt.add_argument("--json", action="store_true",
                        help="emit the outcome (query + plan + provenance) as one JSON object")
+    add_trace_out(p_opt)
 
     p_batch = sub.add_parser(
         "serve-batch",
@@ -135,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="strategies to print per query")
     p_batch.add_argument("--json", action="store_true",
                          help="emit one JSON object per query (JSONL) instead of tables")
+    add_trace_out(p_batch)
 
     p_cache = sub.add_parser("cache", help="inspect or clear an on-disk plan cache")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
@@ -144,6 +166,20 @@ def build_parser() -> argparse.ArgumentParser:
     ]:
         p = cache_sub.add_parser(cache_name, help=cache_help)
         p.add_argument("--cache-dir", type=str, required=True)
+        if cache_name == "stats":
+            p.add_argument("--json", action="store_true",
+                           help="emit the stats as a telemetry snapshot "
+                                "(same schema as `repro-cli stats --json`)")
+
+    p_stats = sub.add_parser(
+        "stats", help="pretty-print a telemetry file written by --trace-out"
+    )
+    p_stats.add_argument("file",
+                         help="a Chrome trace with embedded snapshot, a bare "
+                              "snapshot JSON, or a JSONL event stream")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the canonical snapshot JSON instead of the "
+                              "plain-text summary")
 
     p_plan = sub.add_parser(
         "plan", help="choose one placement for several reductions (one --reduction per reduction)"
@@ -198,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--json", action="store_true",
                            help="print each scenario record as one JSON line")
             add_search_budget_arguments(p)
+            add_trace_out(p)
     return parser
 
 
@@ -384,6 +421,21 @@ def _run_cache(args: argparse.Namespace) -> int:
     cache = PlanCache(directory=args.cache_dir)
     if args.cache_command == "stats":
         fingerprints = cache.disk_fingerprints()
+        if getattr(args, "json", False):
+            import json
+
+            from repro.obs import RecorderSnapshot
+
+            # The same snapshot schema the telemetry exporters speak, so one
+            # consumer parses `repro-cli stats --json` and `cache stats --json`.
+            snapshot = RecorderSnapshot(
+                counters={
+                    "cache.disk_entries": len(fingerprints),
+                    "cache.disk_bytes": cache.disk_bytes(),
+                },
+            )
+            print(json.dumps(snapshot.to_dict(), sort_keys=True))
+            return 0
         print(f"cache at {args.cache_dir}: {len(fingerprints)} entries, "
               f"{cache.disk_bytes() / 1e3:.1f} kB")
         for fingerprint in fingerprints:
@@ -394,6 +446,24 @@ def _run_cache(args: argparse.Namespace) -> int:
         print(f"removed {removed} cached plans from {args.cache_dir}")
         return 0
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")  # pragma: no cover
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    from repro.obs import load_snapshot, render_summary
+
+    try:
+        snapshot = load_snapshot(args.file)
+    except OSError as error:
+        raise SystemExit(f"cannot read {args.file}: {error}")
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.json:
+        import json
+
+        print(json.dumps(snapshot.to_dict(), sort_keys=True))
+        return 0
+    print(render_summary(snapshot, title=f"telemetry from {args.file}"))
+    return 0
 
 
 def _parse_weighted_reduction(spec: str, default_bytes: int):
@@ -555,7 +625,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
         )
 
     if not args.json:
-        print(render_sweep_summary(results))
+        from repro.obs import get_recorder
+
+        recorder = get_recorder()
+        snapshot = recorder.snapshot() if recorder.enabled else None
+        print(render_sweep_summary(results, snapshot=snapshot))
         print()
         print(build_appendix_table(results).text)
     if args.save:
@@ -567,9 +641,63 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+_LOG_HANDLER: Optional[logging.Handler] = None
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Attach a stderr handler to the ``repro`` logger per -v/-q.
+
+    The package itself only installs a NullHandler (library etiquette); the
+    CLI is the application, so it decides verbosity: WARNING by default,
+    INFO at ``-v``, DEBUG at ``-vv``, ERROR under ``--quiet``.  Idempotent
+    across repeated :func:`main` calls (tests, embedding) — the previous
+    CLI handler is replaced, never stacked.
+    """
+    global _LOG_HANDLER
+    if args.quiet:
+        level = logging.ERROR
+    elif args.verbose >= 2:
+        level = logging.DEBUG
+    elif args.verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    package_logger = logging.getLogger("repro")
+    if _LOG_HANDLER is not None:
+        package_logger.removeHandler(_LOG_HANDLER)
+    _LOG_HANDLER = handler
+    package_logger.setLevel(level)
+    package_logger.addHandler(handler)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
 
+    recorder = previous_recorder = None
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.obs import Recorder, get_recorder, set_recorder
+
+        # Install before dispatch: services/drivers/simulators capture the
+        # process recorder at construction time.
+        previous_recorder = get_recorder()
+        recorder = Recorder()
+        set_recorder(recorder)
+    try:
+        return _dispatch(args)
+    finally:
+        if recorder is not None:
+            from repro.obs import set_recorder, write_chrome_trace
+
+            set_recorder(previous_recorder)
+            path = write_chrome_trace(recorder.snapshot(), trace_out)
+            print(f"telemetry trace written to {path}", file=sys.stderr)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "optimize":
         return _run_optimize(args)
 
@@ -581,6 +709,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "cache":
         return _run_cache(args)
+
+    if args.command == "stats":
+        return _run_stats(args)
 
     if args.command == "emit":
         return _run_emit(args)

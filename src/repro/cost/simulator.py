@@ -29,13 +29,14 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cost.contention import analyze_step_contention
 from repro.cost.model import CostModel
 from repro.cost.nccl import NCCLAlgorithm
 from repro.cost.profile import SimulationProfile, compile_profile, price_profile
 from repro.errors import CostModelError
+from repro.obs.recorder import get_recorder
 from repro.semantics.collectives import Collective, apply_collective
 from repro.semantics.goals import initial_context
 from repro.semantics.state import DeviceState, StateContext
@@ -95,12 +96,20 @@ class ProgramSimulator:
     algorithm, or a signature-identical candidate from a different placement —
     skips semantics and contention analysis entirely.  ``profile_hits`` /
     ``profile_misses`` count cache outcomes; they feed the planning
-    provenance surfaced by ``sweep --json``.
+    provenance surfaced by ``sweep --json``, and are mirrored into the
+    telemetry recorder (``profile.hit`` / ``profile.miss`` counters, a
+    ``profile.compile`` span per cold signature) when telemetry is enabled.
+    The recorder is captured at construction — install one via
+    :func:`repro.obs.set_recorder` before building simulators that should
+    report into it.
     """
 
     topology: MachineTopology
     cost_model: CostModel = field(default_factory=CostModel)
     profile_cache_size: int = 4096
+    recorder: Any = field(
+        default_factory=get_recorder, repr=False, compare=False
+    )
     profile_hits: int = field(default=0, init=False, repr=False, compare=False)
     profile_misses: int = field(default=0, init=False, repr=False, compare=False)
     _profiles: "OrderedDict[Tuple, SimulationProfile]" = field(
@@ -116,9 +125,10 @@ class ProgramSimulator:
         """Predict the end-to-end time of ``program`` (profile fast path)."""
         self._validate(program, bytes_per_device)
         profile = self.profile_for(program)
-        return price_profile(
-            profile, bytes_per_device, algorithm, self.cost_model, label=program.label
-        )
+        with self.recorder.span("profile.price", steps=program.num_steps):
+            return price_profile(
+                profile, bytes_per_device, algorithm, self.cost_model, label=program.label
+            )
 
     def profile_for(self, program: LoweredProgram) -> SimulationProfile:
         """The compiled profile of ``program``, from the LRU cache when known."""
@@ -126,10 +136,13 @@ class ProgramSimulator:
         cached = self._profiles.get(key)
         if cached is not None:
             self.profile_hits += 1
+            self.recorder.count("profile.hit")
             self._profiles.move_to_end(key)
             return cached
         self.profile_misses += 1
-        profile = compile_profile(program, self.topology)
+        self.recorder.count("profile.miss")
+        with self.recorder.span("profile.compile", steps=program.num_steps):
+            profile = compile_profile(program, self.topology)
         self._profiles[key] = profile
         if len(self._profiles) > self.profile_cache_size:
             self._profiles.popitem(last=False)
@@ -147,6 +160,7 @@ class ProgramSimulator:
         cached = self._profiles.get(key)
         if cached is not None:
             self.profile_hits += 1
+            self.recorder.count("profile.hit")
             self._profiles.move_to_end(key)
         return cached
 
@@ -166,6 +180,10 @@ class ProgramSimulator:
     ) -> None:
         """Insert a profile compiled elsewhere (counted as one miss/compile)."""
         self.profile_misses += 1
+        # The worker that compiled it already counted ``profile.miss`` in its
+        # own recorder delta (merged back into this one), so the telemetry
+        # counter distinguishes adoptions to avoid double-counting compiles.
+        self.recorder.count("profile.adopted")
         self._profiles[program.signature()] = profile
         if len(self._profiles) > self.profile_cache_size:
             self._profiles.popitem(last=False)

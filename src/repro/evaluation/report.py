@@ -55,8 +55,12 @@ def render_sweep_result(result: SweepResult, max_programs: Optional[int] = 10) -
     return "\n".join(sections)
 
 
-def render_sweep_summary(results: Sequence[SweepResult]) -> str:
-    """One line per configuration: best matrix, best program and speedup."""
+def render_sweep_summary(results: Sequence[SweepResult], snapshot=None) -> str:
+    """One line per configuration: best matrix, best program and speedup.
+
+    ``snapshot`` is forwarded to :func:`render_provenance_summary` for
+    optional latency-percentile lines.
+    """
     rows = []
     for result in results:
         best_matrix = result.best_matrix()
@@ -81,15 +85,19 @@ def render_sweep_summary(results: Sequence[SweepResult]) -> str:
         title="Sweep summary",
         float_fmt="{:.3f}",
     )
-    return table + "\n" + render_provenance_summary(results)
+    return table + "\n" + render_provenance_summary(results, snapshot=snapshot)
 
 
-def render_provenance_summary(results: Sequence[SweepResult]) -> str:
+def render_provenance_summary(results: Sequence[SweepResult], snapshot=None) -> str:
     """Cache-hit ratio and wall-clock split, straight from PlanOutcome provenance.
 
     The timings are the ones each scenario's :class:`~repro.query.PlanOutcome`
     recorded (zero for cache hits), not re-derived sums over program results,
     so the line faithfully reports what the planner actually spent.
+
+    ``snapshot`` (an optional :class:`~repro.obs.RecorderSnapshot`) adds
+    per-span latency percentiles — p50/p99 over ``sweep.scenario`` and
+    ``service.plan`` spans — when the sweep ran with telemetry enabled.
     """
     if not results:
         return "no scenarios ran"
@@ -120,4 +128,15 @@ def render_provenance_summary(results: Sequence[SweepResult]) -> str:
             f"{placements_pruned} placements pruned, "
             f"{stopped}/{len(searches)} scenario(s) budget-stopped"
         )
+    if snapshot is not None:
+        for name in ("sweep.scenario", "service.plan", "plan", "search.run"):
+            histogram = snapshot.histograms.get(f"span.{name}")
+            if histogram is None or histogram.count == 0:
+                continue
+            line += (
+                f"\n{name}: n={histogram.count} "
+                f"p50={histogram.percentile(0.50):.4f}s "
+                f"p99={histogram.percentile(0.99):.4f}s "
+                f"max={histogram.max:.4f}s"
+            )
     return line

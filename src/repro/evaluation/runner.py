@@ -47,6 +47,7 @@ from repro.errors import ReproError
 from repro.evaluation.config import ExperimentConfig
 from repro.evaluation.scenarios import Scenario
 from repro.hierarchy.matrix import ParallelismMatrix
+from repro.obs.recorder import get_recorder
 from repro.query import PlanOutcome, Planner
 from repro.runtime.events import TestbedSimulator
 from repro.runtime.noise import NoiseModel
@@ -162,6 +163,10 @@ class SweepResult:
     search: Optional[Dict] = None
     synthesis_stats: Optional[Dict] = None
     baseline_speedups: Optional[Dict] = None
+    # The request-trace id of the PlanOutcome that answered this scenario
+    # (None when telemetry was disabled): lets a --trace-out timeline be
+    # joined against sweep records.
+    trace_id: Optional[str] = None
 
     @property
     def cache_hit(self) -> bool:
@@ -206,6 +211,7 @@ class SweepResult:
             "profile_misses": self.profile_misses,
             "search": self.search,
             "synthesis_stats": self.synthesis_stats,
+            "trace_id": self.trace_id,
         }
 
     def describe(self) -> str:
@@ -304,8 +310,9 @@ class SweepRunner:
             else Scenario(config=config_or_scenario)
         )
         planner = self.planner_for(scenario)
-        outcome = planner.plan(scenario.query())
-        return self.result_from_outcome(scenario, outcome)
+        with get_recorder().span("sweep.scenario", scenario=scenario.name):
+            outcome = planner.plan(scenario.query())
+            return self.result_from_outcome(scenario, outcome)
 
     def run_many(
         self, configs: Sequence[Union[ExperimentConfig, Scenario]]
@@ -396,24 +403,30 @@ class SweepRunner:
         """
         config = scenario.config
         plan = outcome.plan
+        recorder = get_recorder()
         measure_start = time.perf_counter()
         measured_by_strategy: List[Optional[float]] = []
         if self.measure_programs:
-            testbed = TestbedSimulator(
-                scenario.topology(), NoiseModel(seed=self.noise_seed)
-            )
-            for strategy in plan.strategies:
-                if strategy.program.num_steps == 0:
-                    measured_by_strategy.append(0.0)
-                    continue
-                measured_by_strategy.append(
-                    testbed.measure(
-                        strategy.program,
-                        config.bytes_per_device,
-                        config.algorithm,
-                        num_runs=self.measurement_runs,
-                    ).total_seconds
+            with recorder.span(
+                "sweep.measure",
+                scenario=scenario.name,
+                strategies=len(plan.strategies),
+            ):
+                testbed = TestbedSimulator(
+                    scenario.topology(), NoiseModel(seed=self.noise_seed)
                 )
+                for strategy in plan.strategies:
+                    if strategy.program.num_steps == 0:
+                        measured_by_strategy.append(0.0)
+                        continue
+                    measured_by_strategy.append(
+                        testbed.measure(
+                            strategy.program,
+                            config.bytes_per_device,
+                            config.algorithm,
+                            num_runs=self.measurement_runs,
+                        ).total_seconds
+                    )
         else:
             measured_by_strategy = [
                 0.0 if strategy.program.num_steps == 0 else None
@@ -468,4 +481,5 @@ class SweepRunner:
             search=outcome.search,
             synthesis_stats=outcome.synthesis_stats,
             baseline_speedups=outcome.baseline_speedups(),
+            trace_id=outcome.trace_id,
         )

@@ -333,6 +333,12 @@ class PlanOutcome:
     budget stops) and ``synthesis_stats`` the aggregated synthesizer
     :class:`~repro.synthesis.pruning.SearchStatistics`; both are ``None`` on
     plan-cache hits, where no search ran.
+
+    ``trace_id`` ties the outcome to its request trace in the telemetry
+    spine (:mod:`repro.obs`): it is the id of the root span the planner
+    opened for this query, so a ``--trace-out`` timeline can be joined
+    against sweep records and service logs.  ``None`` when telemetry was
+    disabled.
     """
 
     query: PlanQuery
@@ -347,6 +353,7 @@ class PlanOutcome:
     profile_misses: int = 0
     search: Optional[Dict[str, Any]] = None
     synthesis_stats: Optional[Dict[str, Any]] = None
+    trace_id: Optional[str] = None
 
     @property
     def cache_hit(self) -> bool:
@@ -383,6 +390,7 @@ class PlanOutcome:
             "profile_misses": self.profile_misses,
             "search": self.search,
             "synthesis_stats": self.synthesis_stats,
+            "trace_id": self.trace_id,
         }
 
     def baseline_speedups(self) -> Dict[str, Optional[float]]:

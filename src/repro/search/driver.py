@@ -31,12 +31,14 @@ workers always race against a recent incumbent.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cost.model import CostModel
 from repro.cost.simulator import ProgramSimulator
+from repro.obs.recorder import Stopwatch, get_recorder
 from repro.search.bounds import program_lower_bound
 from repro.search.source import (
     ROLE_BASELINE,
@@ -52,6 +54,8 @@ from repro.synthesis.pruning import SearchStatistics
 from repro.topology.topology import MachineTopology
 
 __all__ = ["SearchReport", "SearchResult", "SearchDriver"]
+
+logger = logging.getLogger(__name__)
 
 _SENTINEL = object()
 
@@ -73,6 +77,7 @@ class SearchReport:
     placements_pruned: int = 0   # whole matrices skipped before synthesis
     baseline_entries: int = 0    # baseline reference entries priced
     seeds: int = 0               # pinned entries priced to seed the incumbent
+    watermark_updates: int = 0   # times a priced entry lowered the incumbent
     matrices_reached: int = 0    # placements whose entries were seen
     budget_stopped: bool = False  # stream cut by max_candidates
     time_stopped: bool = False    # stream cut by time_budget_s
@@ -88,6 +93,7 @@ class SearchReport:
             "placements_pruned": self.placements_pruned,
             "baseline_entries": self.baseline_entries,
             "seeds": self.seeds,
+            "watermark_updates": self.watermark_updates,
             "matrices_reached": self.matrices_reached,
             "budget_stopped": self.budget_stopped,
             "time_stopped": self.time_stopped,
@@ -180,6 +186,10 @@ class SearchDriver:
     evaluator:
         Optional :class:`~repro.service.parallel.ParallelEvaluator`; its
         parent-side simulator takes over profile caching and accounting.
+    recorder:
+        The telemetry recorder (:mod:`repro.obs`) search spans and counters
+        report into; defaults to the process-wide recorder at construction
+        time (a no-op unless telemetry was enabled).
     """
 
     def __init__(
@@ -188,11 +198,13 @@ class SearchDriver:
         cost_model: CostModel,
         simulator: Optional[ProgramSimulator] = None,
         evaluator=None,
+        recorder=None,
     ) -> None:
         self.topology = topology
         self.cost_model = cost_model
         self.simulator = simulator
         self.evaluator = evaluator
+        self.recorder = recorder if recorder is not None else get_recorder()
 
     # ------------------------------------------------------------------ #
     def run(
@@ -202,6 +214,14 @@ class SearchDriver:
     ) -> SearchResult:
         """Drive one search over ``space`` and return everything it produced."""
         source_list = list(sources) if sources is not None else default_sources()
+        with self.recorder.span(
+            "search.run", budgeted=space.query.has_search_budget
+        ):
+            return self._run(space, source_list)
+
+    def _run(
+        self, space: SearchSpace, source_list: List[CandidateSource]
+    ) -> SearchResult:
         query = space.query
         budgeted = query.has_search_budget
         watermark = Watermark()
@@ -231,8 +251,11 @@ class SearchDriver:
         candidates: List[PlacementCandidate] = []
         seen_candidates: Set[int] = set()
         baselines: Dict[str, float] = {}
-        synthesis_seconds = 0.0
-        evaluation_seconds = 0.0
+        # The synthesis/evaluation wall-clock split is part of the outcome
+        # provenance contract; stopwatches accumulate it across the
+        # interleaved pulls and pricing calls.
+        synthesis_watch = Stopwatch()
+        evaluation_watch = Stopwatch()
         start = time.perf_counter()
 
         # Exhaustive pool path: one batched evaluate over the whole stream,
@@ -253,11 +276,8 @@ class SearchDriver:
                 candidates.append(candidate)
 
         def price_serial(entry: StrategyEntry) -> float:
-            nonlocal evaluation_seconds
-            t0 = time.perf_counter()
-            seconds = pricer.price(entry)
-            evaluation_seconds += time.perf_counter() - t0
-            return seconds
+            with evaluation_watch:
+                return pricer.price(entry)
 
         def record_baseline(entry: StrategyEntry, seconds: float) -> None:
             tag = entry.tag or entry.mnemonic
@@ -267,118 +287,126 @@ class SearchDriver:
 
         def flush_chunk() -> None:
             """Price the buffered search entries through the pool, bounds first."""
-            nonlocal evaluation_seconds
             if not chunk:
                 return
             pending = list(chunk)
             chunk.clear()
-            t0 = time.perf_counter()
-            survivors: List[StrategyEntry] = []
-            for entry in pending:
-                if not entry.is_default_all_reduce:
-                    bound = self._entry_bound(entry, space, simulator)
-                    if bound > watermark.seconds:
-                        report.bound_rejected += 1
-                        continue
-                survivors.append(entry)
-            if survivors:
-                seconds_list = self.evaluator.evaluate(
-                    [entry.lowered for entry in survivors],
-                    query.bytes_per_device,
-                    query.algorithm,
-                )
-                for entry, seconds in zip(survivors, seconds_list):
-                    entries.append(entry)
-                    predicted.append(seconds)
-                    watermark.update(seconds)
-            evaluation_seconds += time.perf_counter() - t0
+            with evaluation_watch:
+                survivors: List[StrategyEntry] = []
+                for entry in pending:
+                    if not entry.is_default_all_reduce:
+                        bound = self._entry_bound(entry, space, simulator)
+                        if bound > watermark.seconds:
+                            report.bound_rejected += 1
+                            continue
+                    survivors.append(entry)
+                if survivors:
+                    seconds_list = self.evaluator.evaluate(
+                        [entry.lowered for entry in survivors],
+                        query.bytes_per_device,
+                        query.algorithm,
+                    )
+                    for entry, seconds in zip(survivors, seconds_list):
+                        entries.append(entry)
+                        predicted.append(seconds)
+                        if watermark.update(seconds):
+                            report.watermark_updates += 1
 
         stopped = False
         for source in source_list:
             if stopped:
                 break
-            iterator = source.entries(space, watermark, report)
-            is_search = source.role not in (ROLE_BASELINE, ROLE_SEED)
-            while True:
-                if is_search and budgeted:
-                    if (
-                        query.max_candidates is not None
-                        and report.considered >= query.max_candidates
-                    ):
-                        report.budget_stopped = True
-                        stopped = True
+            with self.recorder.span(
+                "search.source", source=source.name, role=source.role
+            ):
+                iterator = source.entries(space, watermark, report)
+                is_search = source.role not in (ROLE_BASELINE, ROLE_SEED)
+                while True:
+                    if is_search and budgeted:
+                        if (
+                            query.max_candidates is not None
+                            and report.considered >= query.max_candidates
+                        ):
+                            report.budget_stopped = True
+                            stopped = True
+                            logger.debug(
+                                "stopping search: candidate budget %d reached",
+                                query.max_candidates,
+                            )
+                            break
+                        # The first search entry is always considered, however
+                        # small the budget: a plan must hold at least one ranked
+                        # strategy (the first placement's default AllReduce) to
+                        # be a plan at all.
+                        if (
+                            query.time_budget_s is not None
+                            and report.considered > 0
+                            and time.perf_counter() - start > query.time_budget_s
+                        ):
+                            report.time_stopped = True
+                            stopped = True
+                            logger.debug(
+                                "stopping search: time budget %.3fs exhausted",
+                                query.time_budget_s,
+                            )
+                            break
+                    with synthesis_watch:
+                        item = next(iterator, _SENTINEL)
+                    if item is _SENTINEL:
                         break
-                    # The first search entry is always considered, however
-                    # small the budget: a plan must hold at least one ranked
-                    # strategy (the first placement's default AllReduce) to
-                    # be a plan at all.
-                    if (
-                        query.time_budget_s is not None
-                        and report.considered > 0
-                        and time.perf_counter() - start > query.time_budget_s
-                    ):
-                        report.time_stopped = True
-                        stopped = True
-                        break
-                t0 = time.perf_counter()
-                item = next(iterator, _SENTINEL)
-                synthesis_seconds += time.perf_counter() - t0
-                if item is _SENTINEL:
-                    break
-                if source.role == ROLE_BASELINE:
-                    report.baseline_entries += 1
-                    if batch_all:
-                        batch_items.append((item, ROLE_BASELINE))
-                    else:
-                        record_baseline(item, price_serial(item))
-                    continue
-                if source.role == ROLE_SEED:
-                    report.seeds += 1
-                    if batch_all:
-                        batch_items.append((item, ROLE_SEED))
-                    else:
-                        seconds = price_serial(item)
-                        watermark.update(seconds)
-                    continue
-                report.considered += 1
-                register(item.candidate)
-                if batch_all:
-                    batch_items.append((item, "search"))
-                    continue
-                if self.evaluator is not None:
-                    chunk.append(item)
-                    if len(chunk) >= chunk_size:
-                        flush_chunk()
-                    continue
-                if budgeted and not item.is_default_all_reduce:
-                    t0 = time.perf_counter()
-                    bound = self._entry_bound(item, space, simulator)
-                    evaluation_seconds += time.perf_counter() - t0
-                    if bound > watermark.seconds:
-                        report.bound_rejected += 1
+                    if source.role == ROLE_BASELINE:
+                        report.baseline_entries += 1
+                        if batch_all:
+                            batch_items.append((item, ROLE_BASELINE))
+                        else:
+                            record_baseline(item, price_serial(item))
                         continue
-                seconds = price_serial(item)
-                entries.append(item)
-                predicted.append(seconds)
-                if budgeted:
-                    watermark.update(seconds)
+                    if source.role == ROLE_SEED:
+                        report.seeds += 1
+                        if batch_all:
+                            batch_items.append((item, ROLE_SEED))
+                        else:
+                            if watermark.update(price_serial(item)):
+                                report.watermark_updates += 1
+                        continue
+                    report.considered += 1
+                    register(item.candidate)
+                    if batch_all:
+                        batch_items.append((item, "search"))
+                        continue
+                    if self.evaluator is not None:
+                        chunk.append(item)
+                        if len(chunk) >= chunk_size:
+                            flush_chunk()
+                        continue
+                    if budgeted and not item.is_default_all_reduce:
+                        with evaluation_watch:
+                            bound = self._entry_bound(item, space, simulator)
+                        if bound > watermark.seconds:
+                            report.bound_rejected += 1
+                            continue
+                    seconds = price_serial(item)
+                    entries.append(item)
+                    predicted.append(seconds)
+                    if budgeted and watermark.update(seconds):
+                        report.watermark_updates += 1
 
         if batch_all and batch_items:
-            t0 = time.perf_counter()
-            seconds_list = self.evaluator.evaluate(
-                [entry.lowered for entry, _ in batch_items],
-                query.bytes_per_device,
-                query.algorithm,
-            )
-            for (entry, role), seconds in zip(batch_items, seconds_list):
-                if role == ROLE_BASELINE:
-                    record_baseline(entry, seconds)
-                elif role == ROLE_SEED:
-                    watermark.update(seconds)
-                else:
-                    entries.append(entry)
-                    predicted.append(seconds)
-            evaluation_seconds += time.perf_counter() - t0
+            with evaluation_watch:
+                seconds_list = self.evaluator.evaluate(
+                    [entry.lowered for entry, _ in batch_items],
+                    query.bytes_per_device,
+                    query.algorithm,
+                )
+                for (entry, role), seconds in zip(batch_items, seconds_list):
+                    if role == ROLE_BASELINE:
+                        record_baseline(entry, seconds)
+                    elif role == ROLE_SEED:
+                        if watermark.update(seconds):
+                            report.watermark_updates += 1
+                    else:
+                        entries.append(entry)
+                        predicted.append(seconds)
         flush_chunk()
 
         # Aggregate the synthesizer statistics only now: a streaming source
@@ -394,6 +422,25 @@ class SearchDriver:
             report.incumbent_seconds = watermark.seconds
         elif predicted:
             report.incumbent_seconds = min(predicted)
+
+        logger.debug(
+            "search complete: %d considered, %d ranked, %d bound-rejected, "
+            "%d placements pruned, %d watermark updates",
+            report.considered,
+            report.ranked,
+            report.bound_rejected,
+            report.placements_pruned,
+            report.watermark_updates,
+        )
+        recorder = self.recorder
+        recorder.count("search.considered", report.considered)
+        recorder.count("search.ranked", report.ranked)
+        recorder.count("search.bound_rejected", report.bound_rejected)
+        recorder.count("search.placements_pruned", report.placements_pruned)
+        recorder.count("search.watermark_updates", report.watermark_updates)
+        recorder.count("search.baseline_entries", report.baseline_entries)
+        recorder.observe("search.synthesis_seconds", synthesis_watch.seconds)
+        recorder.observe("search.evaluation_seconds", evaluation_watch.seconds)
         return SearchResult(
             entries=entries,
             predicted=predicted,
@@ -401,8 +448,8 @@ class SearchDriver:
             baselines=baselines,
             report=report,
             statistics=statistics,
-            synthesis_seconds=synthesis_seconds,
-            evaluation_seconds=evaluation_seconds,
+            synthesis_seconds=synthesis_watch.seconds,
+            evaluation_seconds=evaluation_watch.seconds,
         )
 
     # ------------------------------------------------------------------ #

@@ -30,6 +30,7 @@ scales").
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, List, Optional, Protocol, Sequence, runtime_checkable
 
@@ -53,6 +54,8 @@ from repro.topology.topology import MachineTopology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard; see repro.api
     from repro.search.driver import SearchReport
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "ROLE_SEARCH",
@@ -135,9 +138,12 @@ class Watermark:
     def __init__(self, seconds: float = float("inf")) -> None:
         self.seconds = seconds
 
-    def update(self, seconds: float) -> None:
+    def update(self, seconds: float) -> bool:
+        """Lower the incumbent to ``seconds`` if better; True when it improved."""
         if seconds < self.seconds:
             self.seconds = seconds
+            return True
+        return False
 
 
 @runtime_checkable
@@ -307,6 +313,15 @@ class SynthesisSource:
         )
         if bound > watermark.seconds:
             report.placements_pruned += 1
+            # isEnabledFor guard: rendering the matrix is far more expensive
+            # than the pruning decision itself.
+            if logger.isEnabledFor(logging.DEBUG):
+                logger.debug(
+                    "pruned placement %s: lower bound %.6fs > incumbent %.6fs",
+                    placement.matrix.describe(),
+                    bound,
+                    watermark.seconds,
+                )
             return True
         return False
 

@@ -24,6 +24,7 @@ recomputes the plan.
 from __future__ import annotations
 
 import json
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -39,6 +40,8 @@ __all__ = [
     "CacheStats",
     "PlanCache",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 def plan_to_dict(plan: OptimizationPlan) -> Dict:
@@ -167,13 +170,15 @@ class PlanCache:
             tmp = path.with_suffix(".json.tmp")
             tmp.write_text(json.dumps(envelope, indent=2))
             tmp.replace(path)
+            logger.debug("stored plan %s to %s", fingerprint, path)
 
     def _insert_memory(self, fingerprint: str, plan: Dict) -> None:
         self._memory[fingerprint] = plan
         self._memory.move_to_end(fingerprint)
         while len(self._memory) > self.capacity:
-            self._memory.popitem(last=False)
+            evicted, _ = self._memory.popitem(last=False)
             self.stats.evictions += 1
+            logger.debug("evicted plan %s from the memory tier", evicted)
 
     def _read_disk(self, fingerprint: str) -> Optional[Dict]:
         if self.directory is None:
@@ -191,8 +196,9 @@ class PlanCache:
             if not isinstance(plan, dict):
                 raise ServiceError("malformed plan payload")
             return plan
-        except (json.JSONDecodeError, KeyError, TypeError, ServiceError):
+        except (json.JSONDecodeError, KeyError, TypeError, ServiceError) as error:
             self.stats.corrupt_entries += 1
+            logger.debug("dropping corrupt cache entry %s: %r", path, error)
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - racing cleanup is best-effort

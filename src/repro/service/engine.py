@@ -27,6 +27,7 @@ as a thin shim.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence
@@ -37,6 +38,7 @@ from repro.cost.simulator import ProgramSimulator
 from repro.cost.nccl import NCCLAlgorithm
 from repro.errors import ReproError, ServiceError
 from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.obs.recorder import get_recorder
 from repro.query import PlanOutcome, PlanQuery
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import canonical_topology, plan_query_fingerprint
@@ -44,6 +46,8 @@ from repro.service.parallel import ParallelEvaluator
 from repro.topology.topology import MachineTopology
 
 __all__ = ["PlanningRequest", "RequestStats", "PlanningResponse", "PlanningService"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -153,10 +157,15 @@ class PlanningService:
         self.cache = cache if cache is not None else PlanCache()
         self.n_workers = max(1, n_workers or 1)
         self._evaluator: Optional[ParallelEvaluator] = None
+        # The telemetry recorder every request reports into, captured at
+        # construction (install one via repro.obs.set_recorder first).
+        self.recorder = get_recorder()
         # One simulator for the serial cold path: its compiled-profile cache
         # (keyed by program signature) persists across requests, so a payload
         # ladder over one shape re-prices profiles instead of re-simulating.
-        self._simulator = ProgramSimulator(topology, self.cost_model)
+        self._simulator = ProgramSimulator(
+            topology, self.cost_model, recorder=self.recorder
+        )
         self.requests_served = 0
 
     # ------------------------------------------------------------------ #
@@ -174,62 +183,91 @@ class PlanningService:
         legacy :class:`PlanningRequest` objects are converted).
         """
         start = time.perf_counter()
-        fingerprint = self.query_fingerprint(query)
-        cached, tier = self.cache.lookup(fingerprint)
-        if cached is not None:
-            try:
-                plan = OptimizationPlan.from_dict(cached)
-            except (ReproError, KeyError, TypeError, ValueError):
-                # A well-formed envelope around a semantically broken plan:
-                # honour the cache contract (corrupt entries are misses) and
-                # recompute rather than crash the service.
-                self.cache.discard(fingerprint, corrupt=True)
-                self.cache.stats.demote_hit(tier)
-                cached = None
-        if cached is not None:
-            outcome = PlanOutcome(
-                query=query, plan=plan, fingerprint=fingerprint, cache_tier=tier
-            )
-        else:
-            evaluator = self._ensure_evaluator() if self.n_workers > 1 else None
-            pricing_simulator = (
-                evaluator.simulator if evaluator is not None else self._simulator
-            )
-            hits_before = pricing_simulator.profile_hits
-            misses_before = pricing_simulator.profile_misses
-            computation = compute_plan(
-                self.topology,
-                self.cost_model,
-                query,
-                evaluator=evaluator,
-                simulator=None if evaluator is not None else self._simulator,
-            )
-            plan = computation.plan
-            outcome = PlanOutcome(
-                query=query,
-                plan=plan,
-                synthesis_seconds=computation.synthesis_seconds,
-                evaluation_seconds=computation.evaluation_seconds,
-                fingerprint=fingerprint,
-                cache_tier=None,
-                n_workers=self.n_workers,
-                profile_hits=pricing_simulator.profile_hits - hits_before,
-                profile_misses=pricing_simulator.profile_misses - misses_before,
-                search=computation.search_dict(),
-                synthesis_stats=computation.statistics_dict(),
-            )
-            # Budgeted plans are never cached: a wall-clock budget is not a
-            # deterministic function of the query (the same fingerprint can
-            # denote different plans on a slower machine), and under a
-            # candidate budget the *tail* of the ranking depends on how the
-            # incumbent watermark advanced — the chunked pool path
-            # bound-checks whole chunks against a slightly staler watermark
-            # than the serial per-entry path, so the surviving strategy list
-            # (never the best) can differ by n_workers, which the
-            # fingerprint does not cover.
-            if not query.has_search_budget:
-                self.cache.put(fingerprint, plan.to_dict())
-        outcome.total_seconds = time.perf_counter() - start
+        recorder = self.recorder
+        with recorder.span("service.plan") as root:
+            fingerprint = self.query_fingerprint(query)
+            with recorder.span("cache.lookup"):
+                cached, tier = self.cache.lookup(fingerprint)
+            if cached is not None:
+                try:
+                    plan = OptimizationPlan.from_dict(cached)
+                except (ReproError, KeyError, TypeError, ValueError):
+                    # A well-formed envelope around a semantically broken plan:
+                    # honour the cache contract (corrupt entries are misses) and
+                    # recompute rather than crash the service.
+                    self.cache.discard(fingerprint, corrupt=True)
+                    self.cache.stats.demote_hit(tier)
+                    recorder.count("cache.corrupt")
+                    logger.debug(
+                        "discarded corrupt cache entry %s (tier=%s)",
+                        fingerprint,
+                        tier,
+                    )
+                    cached = None
+            if cached is not None:
+                recorder.count(f"cache.hit.{tier}")
+                logger.debug("cache hit (%s) for %s", tier, fingerprint)
+                # total_seconds is threaded through construction on both
+                # paths: an outcome is never observable with a zero total.
+                outcome = PlanOutcome(
+                    query=query,
+                    plan=plan,
+                    fingerprint=fingerprint,
+                    cache_tier=tier,
+                    total_seconds=time.perf_counter() - start,
+                    trace_id=root.trace_id,
+                )
+            else:
+                recorder.count("cache.miss")
+                logger.debug("cache miss for %s; computing plan", fingerprint)
+                evaluator = self._ensure_evaluator() if self.n_workers > 1 else None
+                pricing_simulator = (
+                    evaluator.simulator if evaluator is not None else self._simulator
+                )
+                hits_before = pricing_simulator.profile_hits
+                misses_before = pricing_simulator.profile_misses
+                computation = compute_plan(
+                    self.topology,
+                    self.cost_model,
+                    query,
+                    evaluator=evaluator,
+                    simulator=None if evaluator is not None else self._simulator,
+                    recorder=recorder,
+                )
+                plan = computation.plan
+                # Budgeted plans are never cached: a wall-clock budget is not a
+                # deterministic function of the query (the same fingerprint can
+                # denote different plans on a slower machine), and under a
+                # candidate budget the *tail* of the ranking depends on how the
+                # incumbent watermark advanced — the chunked pool path
+                # bound-checks whole chunks against a slightly staler watermark
+                # than the serial per-entry path, so the surviving strategy list
+                # (never the best) can differ by n_workers, which the
+                # fingerprint does not cover.
+                if not query.has_search_budget:
+                    with recorder.span("cache.store"):
+                        self.cache.put(fingerprint, plan.to_dict())
+                else:
+                    logger.debug(
+                        "budgeted query %s not cached (non-deterministic tail)",
+                        fingerprint,
+                    )
+                outcome = PlanOutcome(
+                    query=query,
+                    plan=plan,
+                    synthesis_seconds=computation.synthesis_seconds,
+                    evaluation_seconds=computation.evaluation_seconds,
+                    total_seconds=time.perf_counter() - start,
+                    fingerprint=fingerprint,
+                    cache_tier=None,
+                    n_workers=self.n_workers,
+                    profile_hits=pricing_simulator.profile_hits - hits_before,
+                    profile_misses=pricing_simulator.profile_misses - misses_before,
+                    search=computation.search_dict(),
+                    synthesis_stats=computation.statistics_dict(),
+                    trace_id=root.trace_id,
+                )
+        recorder.observe("service.total_seconds", outcome.total_seconds)
         self.requests_served += 1
         return outcome
 
@@ -313,7 +351,7 @@ class PlanningService:
     def _ensure_evaluator(self) -> ParallelEvaluator:
         if self._evaluator is None:
             self._evaluator = ParallelEvaluator(
-                self.topology, self.cost_model, self.n_workers
+                self.topology, self.cost_model, self.n_workers, recorder=self.recorder
             )
         return self._evaluator
 

@@ -48,12 +48,24 @@ from repro.cost.nccl import NCCLAlgorithm
 from repro.cost.profile import SimulationProfile, price_profile
 from repro.cost.simulator import ProgramSimulator
 from repro.errors import ServiceError
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    Recorder,
+    RecorderSnapshot,
+    current_trace_context,
+    get_recorder,
+)
 from repro.synthesis.lowering import LoweredProgram
 from repro.topology.topology import MachineTopology
 
 __all__ = ["ParallelEvaluator", "default_worker_count"]
 
 _WORKER_SIMULATOR: Optional[ProgramSimulator] = None
+# The worker-local telemetry recorder.  Each task drains it, so what ships
+# back to the parent is a disjoint per-task delta; the parent merges the
+# deltas, and because histogram/counter merging is associative the combined
+# state is independent of task interleaving across workers.
+_WORKER_RECORDER = NULL_RECORDER
 
 
 def default_worker_count() -> int:
@@ -61,31 +73,50 @@ def default_worker_count() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _init_worker(topology: MachineTopology, cost_model: CostModel) -> None:
-    global _WORKER_SIMULATOR
-    _WORKER_SIMULATOR = ProgramSimulator(topology, cost_model)
+def _init_worker(
+    topology: MachineTopology, cost_model: CostModel, telemetry_enabled: bool = False
+) -> None:
+    global _WORKER_SIMULATOR, _WORKER_RECORDER
+    _WORKER_RECORDER = Recorder() if telemetry_enabled else NULL_RECORDER
+    _WORKER_SIMULATOR = ProgramSimulator(
+        topology, cost_model, recorder=_WORKER_RECORDER
+    )
 
 
 def _evaluate_task(
-    task: Tuple[int, Optional[LoweredProgram], Optional[SimulationProfile], float, NCCLAlgorithm]
-) -> Tuple[int, float, Optional[SimulationProfile]]:
+    task: Tuple[
+        int,
+        Optional[LoweredProgram],
+        Optional[SimulationProfile],
+        float,
+        NCCLAlgorithm,
+        Optional[Tuple[str, str]],
+    ]
+) -> Tuple[int, float, Optional[SimulationProfile], Optional[RecorderSnapshot]]:
     """Price one candidate; compile it first when no profile was shipped.
 
     Returns the compiled profile only when this worker did the compilation,
     so the parent can adopt it (a profile that came *in* goes back as None).
+    The last element is the worker recorder's telemetry delta for this task
+    (``None`` with telemetry disabled): the worker's ``worker.price`` span —
+    parented under the trace context shipped with the task, so it lands in
+    the caller's request trace — plus any compile spans and profile counters.
     """
-    index, program, profile, bytes_per_device, algorithm = task
+    index, program, profile, bytes_per_device, algorithm, parent_ctx = task
     assert _WORKER_SIMULATOR is not None, "worker pool was not initialized"
-    if profile is not None:
-        result = price_profile(
-            profile, bytes_per_device, algorithm, _WORKER_SIMULATOR.cost_model
-        )
-        return index, result.total_seconds, None
-    compiled = _WORKER_SIMULATOR.profile_for(program)
-    result = price_profile(
-        compiled, bytes_per_device, algorithm, _WORKER_SIMULATOR.cost_model
-    )
-    return index, result.total_seconds, compiled
+    with _WORKER_RECORDER.span("worker.price", _parent=parent_ctx, index=index):
+        if profile is not None:
+            result = price_profile(
+                profile, bytes_per_device, algorithm, _WORKER_SIMULATOR.cost_model
+            )
+            compiled = None
+        else:
+            compiled = _WORKER_SIMULATOR.profile_for(program)
+            result = price_profile(
+                compiled, bytes_per_device, algorithm, _WORKER_SIMULATOR.cost_model
+            )
+    delta = _WORKER_RECORDER.drain() if _WORKER_RECORDER.enabled else None
+    return index, result.total_seconds, compiled, delta
 
 
 class ParallelEvaluator:
@@ -101,13 +132,17 @@ class ParallelEvaluator:
         topology: MachineTopology,
         cost_model: Optional[CostModel] = None,
         n_workers: Optional[int] = None,
+        recorder=None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ServiceError("n_workers must be >= 1")
         self.topology = topology
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.n_workers = n_workers if n_workers is not None else default_worker_count()
-        self.simulator = ProgramSimulator(topology, self.cost_model)
+        self.recorder = recorder if recorder is not None else get_recorder()
+        self.simulator = ProgramSimulator(
+            topology, self.cost_model, recorder=self.recorder
+        )
         self._executor: Optional[ProcessPoolExecutor] = None
 
     def profile_counters(self) -> Tuple[int, int]:
@@ -148,26 +183,39 @@ class ParallelEvaluator:
                     programs[i], bytes_per_device, algorithm
                 ).total_seconds
         else:
-            tasks = []
-            for i in unique_indices:
-                profile = self.simulator.cached_profile(programs[i])
-                tasks.append(
-                    (
-                        i,
-                        None if profile is not None else programs[i],
-                        profile,
-                        bytes_per_device,
-                        algorithm,
-                    )
+            with self.recorder.span(
+                "evaluate.batch", tasks=len(unique_indices)
+            ) as batch_span:
+                # Ship the batch span's identity with each task so the
+                # workers' spans attach to this request's trace tree.
+                parent_ctx = (
+                    (batch_span.trace_id, batch_span.span_id)
+                    if batch_span.trace_id is not None
+                    else current_trace_context()
                 )
-            executor = self._ensure_executor()
-            chunksize = max(1, len(tasks) // (self.n_workers * 4))
-            for index, seconds, compiled in executor.map(
-                _evaluate_task, tasks, chunksize=chunksize
-            ):
-                predicted[index] = seconds
-                if compiled is not None:
-                    self.simulator.adopt_profile(programs[index], compiled)
+                tasks = []
+                for i in unique_indices:
+                    profile = self.simulator.cached_profile(programs[i])
+                    tasks.append(
+                        (
+                            i,
+                            None if profile is not None else programs[i],
+                            profile,
+                            bytes_per_device,
+                            algorithm,
+                            parent_ctx,
+                        )
+                    )
+                executor = self._ensure_executor()
+                chunksize = max(1, len(tasks) // (self.n_workers * 4))
+                for index, seconds, compiled, delta in executor.map(
+                    _evaluate_task, tasks, chunksize=chunksize
+                ):
+                    predicted[index] = seconds
+                    if compiled is not None:
+                        self.simulator.adopt_profile(programs[index], compiled)
+                    if delta is not None:
+                        self.recorder.merge(delta)
 
         for i, first in duplicates:
             predicted[i] = predicted[first]
@@ -179,7 +227,7 @@ class ParallelEvaluator:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.n_workers,
                 initializer=_init_worker,
-                initargs=(self.topology, self.cost_model),
+                initargs=(self.topology, self.cost_model, self.recorder.enabled),
             )
         return self._executor
 
