@@ -75,13 +75,18 @@ def bench_json(output_dir):
     timing gates with a relative tolerance.
     """
 
-    def _write(name: str, median_seconds: float, counters=None) -> Path:
+    def _write(name: str, median_seconds: float, counters=None, extra=None) -> Path:
         payload = {
             "format_version": BENCH_RECORD_VERSION,
             "name": name,
             "median_seconds": float(median_seconds),
             "counters": {key: int(value) for key, value in (counters or {}).items()},
         }
+        # Extra top-level metrics (throughput, percentiles, ratios) ride
+        # along for human/CI consumption; compare.py ignores unknown keys,
+        # so only median_seconds and counters gate.
+        for key, value in (extra or {}).items():
+            payload.setdefault(key, value)
         path = output_dir / f"BENCH_{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return path

@@ -68,3 +68,11 @@ class QueryError(EvaluationError):
 
 class ServiceError(ReproError):
     """Raised by the planning service for malformed requests or cache state."""
+
+
+class ServeError(ServiceError):
+    """Raised by the daemon wire protocol for malformed or refused messages."""
+
+
+class LoadgenError(ReproError):
+    """Raised by the synthetic-traffic harness for bad profiles or configs."""

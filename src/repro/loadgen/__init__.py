@@ -1,0 +1,50 @@
+"""Open-loop synthetic traffic against the planning daemon.
+
+Two halves:
+
+* :mod:`repro.loadgen.arrivals` — composable rate functions λ(t)
+  (constant / per-user Poisson / bursty / diurnal, plus ``scaled`` and
+  ``summed`` combinators) and :func:`arrival_times`, which draws a
+  deterministic non-homogeneous Poisson schedule per seed.
+* :mod:`repro.loadgen.harness` — :class:`LoadHarness`, which fires the
+  schedule at a live :mod:`repro.serve` daemon over real sockets and
+  reduces the run to a :class:`LoadReport` (throughput, p50/p99/max
+  latency, shed rate, cache-hit ratio) straight from a
+  :class:`repro.obs.RecorderSnapshot`.
+
+Drive it from the command line with ``repro-cli loadgen``.
+"""
+
+from repro.loadgen.arrivals import (
+    PROFILE_NAMES,
+    RateFunction,
+    arrival_times,
+    bursty,
+    constant_rate,
+    diurnal,
+    peak_rate,
+    poisson_users,
+    profile_from_name,
+    scaled,
+    summed,
+    validate_tenants,
+)
+from repro.loadgen.harness import LoadHarness, LoadReport, QueryMix
+
+__all__ = [
+    "RateFunction",
+    "constant_rate",
+    "poisson_users",
+    "bursty",
+    "diurnal",
+    "scaled",
+    "summed",
+    "profile_from_name",
+    "PROFILE_NAMES",
+    "arrival_times",
+    "peak_rate",
+    "validate_tenants",
+    "QueryMix",
+    "LoadReport",
+    "LoadHarness",
+]

@@ -30,7 +30,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.api import OptimizationPlan, compute_plan
 from repro.cost.model import CostModel
@@ -150,6 +150,7 @@ class PlanningService:
         max_program_size: int = 5,
         cache: Optional[PlanCache] = None,
         n_workers: Optional[int] = None,
+        recorder=None,
     ) -> None:
         self.topology = topology
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -158,8 +159,9 @@ class PlanningService:
         self.n_workers = max(1, n_workers or 1)
         self._evaluator: Optional[ParallelEvaluator] = None
         # The telemetry recorder every request reports into, captured at
-        # construction (install one via repro.obs.set_recorder first).
-        self.recorder = get_recorder()
+        # construction (install one via repro.obs.set_recorder first, or pass
+        # it explicitly — embeddings like the serving daemon do the latter).
+        self.recorder = recorder if recorder is not None else get_recorder()
         # One simulator for the serial cold path: its compiled-profile cache
         # (keyed by program signature) persists across requests, so a payload
         # ladder over one shape re-prices profiles instead of re-simulating.
@@ -333,11 +335,22 @@ class PlanningService:
         """Answer a batch of legacy requests (see :meth:`plan_many`)."""
         return [self.submit(request) for request in requests]
 
-    def warm(self, requests: Sequence[PlanningRequest]) -> int:
-        """Precompute plans for ``requests``; return how many were cold."""
+    def warm(self, requests: Sequence[Union[PlanQuery, PlanningRequest]]) -> int:
+        """Precompute plans for ``requests``; return how many were cold.
+
+        Accepts :class:`PlanQuery` objects directly — the daemon's warm-file
+        format is plain ``PlanQuery`` JSONL, the same shape ``serve-batch``
+        reads — and keeps accepting legacy :class:`PlanningRequest` objects
+        (converted under this service's ``max_program_size``) as a shim.
+        """
         cold = 0
-        for response in self.optimize_many(requests):
-            if not response.stats.cache_hit:
+        for item in requests:
+            query = (
+                item
+                if isinstance(item, PlanQuery)
+                else item.to_query(self.max_program_size)
+            )
+            if not self.plan(query).cache_hit:
                 cold += 1
         return cold
 

@@ -278,13 +278,17 @@ class TestMain:
         with pytest.raises(SystemExit):
             main(["serve-batch", "--query", "8x4:0:123"])  # bad axes token
 
-    def test_serve_batch_rejects_malformed_queries_file_entry(self, tmp_path):
+    def test_serve_batch_reports_malformed_queries_file_entry(self, tmp_path, capsys):
         import json
 
         queries = tmp_path / "queries.json"
         queries.write_text(json.dumps([{"reduce": [0]}]))  # missing "axes"
-        with pytest.raises(SystemExit):
-            main(["serve-batch", "--queries-file", str(queries)])
+        exit_code = main(["serve-batch", "--queries-file", str(queries)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "bad_query" in captured.err
+        assert "entry 0" in captured.err
+        assert "Traceback" not in captured.err
 
     def test_serve_batch_honours_max_matrices(self, capsys):
         exit_code = main(
@@ -402,11 +406,44 @@ class TestMain:
         assert exit_code == 0
         assert captured.out.count("query ") == 1
 
-    def test_serve_batch_rejects_unparseable_queries_file(self, tmp_path):
+    def test_serve_batch_reports_unparseable_queries_file(self, tmp_path, capsys):
         queries = tmp_path / "queries.json"
         queries.write_text("{ not json\nnot jsonl either")
-        with pytest.raises(SystemExit):
-            main(["serve-batch", "--nodes", "2", "--queries-file", str(queries)])
+        exit_code = main(
+            ["serve-batch", "--nodes", "2", "--queries-file", str(queries)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "bad_json" in captured.err
+        assert "no valid queries" in captured.err
+
+    def test_serve_batch_answers_valid_lines_despite_torn_ones(self, tmp_path, capsys):
+        import json
+
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text(
+            json.dumps({"axes": [8, 4], "reduce": [0], "bytes": 1 << 20}) + "\n"
+            + "{ torn line\n"
+            + json.dumps({"axes": [4, 8], "reduce": [0], "bytes": 1 << 20}) + "\n"
+        )
+        exit_code = main(
+            ["serve-batch", "--nodes", "2", "--max-program-size", "3",
+             "--max-matrices", "1", "--json", "--queries-file", str(queries)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1  # a torn line still fails the run at the end
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        errors = [r for r in records if "error" in r]
+        outcomes = [r for r in records if "query" in r]
+        assert len(outcomes) == 2  # both valid lines were answered
+        assert errors == [
+            {
+                "file": str(queries),
+                "error": "bad_json",
+                "line": 2,
+                "detail": errors[0]["detail"],
+            }
+        ]
 
     def test_emit_command(self, capsys):
         exit_code = main(
