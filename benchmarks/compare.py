@@ -101,6 +101,38 @@ def compare(baseline: dict, current: dict, default_tolerance: float):
         yield "info", f"{name}: new benchmark, not in the baseline yet (add via --update)"
 
 
+def check_coverage(baseline: dict, bench_dir: Path):
+    """Yield (level, message): every baseline entry needs a producing benchmark.
+
+    A baseline metric whose ``bench_json("<name>", ...)`` call no longer
+    exists in any ``bench_*.py`` would fail every CI run with a confusing
+    "no BENCH_<name>.json" error (or worse, linger forever if the entry were
+    also dropped from CI's run list).  This check names the orphan directly,
+    and runs without executing any benchmark, so it is cheap enough to gate
+    every push.
+    """
+    import re
+
+    producers = {}
+    for path in sorted(bench_dir.glob("bench_*.py")):
+        for name in re.findall(r"bench_json\(\s*[\"']([^\"']+)[\"']", path.read_text()):
+            producers.setdefault(name, []).append(path.name)
+    for name in sorted(baseline.get("benchmarks", {})):
+        files = producers.get(name)
+        if not files:
+            yield "fail", (
+                f"{name}: baseline entry has no bench_json({name!r}, ...) "
+                f"call in any {bench_dir}/bench_*.py"
+            )
+        else:
+            yield "info", f"{name}: produced by {', '.join(files)}"
+    for name in sorted(set(producers) - set(baseline.get("benchmarks", {}))):
+        yield "info", (
+            f"{name}: emitted by {', '.join(producers[name])} but not in the "
+            "baseline yet (add via --update)"
+        )
+
+
 def update_baseline(path: Path, baseline: dict, current: dict) -> None:
     old = baseline.get("benchmarks", {})
     benchmarks = {}
@@ -126,7 +158,23 @@ def main(argv=None) -> int:
                         help="default allowed relative median growth (0.30 = +30%%)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current records")
+    parser.add_argument("--check-coverage", action="store_true",
+                        help="verify every baseline entry has a producing "
+                             "bench_*.py (no benchmark run needed)")
     args = parser.parse_args(argv)
+
+    if args.check_coverage:
+        baseline = load_baseline(args.baseline)
+        failures = 0
+        for level, message in check_coverage(baseline, HERE):
+            print(f"[{level.upper()}] {message}")
+            if level == "fail":
+                failures += 1
+        if failures:
+            print(f"\n{failures} baseline metric(s) have no producing benchmark")
+            return 1
+        print("\nevery baseline metric has a producing benchmark file")
+        return 0
 
     current = load_current(args.current)
     if not current:

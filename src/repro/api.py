@@ -471,14 +471,39 @@ def compute_plan(
     ``recorder`` routes the driver's search spans and counters into a
     specific telemetry recorder (:mod:`repro.obs`); the process-wide one is
     used when omitted.
+
+    A ``query.shards > 1`` routes the search through the
+    :class:`~repro.search.sharded.ShardedSearchDriver` — the placement
+    candidates are partitioned across worker processes that share a
+    branch-and-bound incumbent (see :mod:`repro.search.sharded`).  Exhaustive
+    sharded plans are bit-identical to ``shards=1``; sharding is exclusive
+    with ``evaluator`` (two process pools pricing one search would fight
+    over the same cores).
     """
-    driver = SearchDriver(
-        topology,
-        cost_model,
-        simulator=simulator,
-        evaluator=evaluator,
-        recorder=recorder,
-    )
+    if query.shards > 1:
+        if evaluator is not None:
+            raise EvaluationError(
+                f"shards={query.shards} cannot be combined with a candidate "
+                "evaluator: sharded search runs its own worker processes "
+                "(drop the evaluator/n_workers, or plan with shards=1)"
+            )
+        from repro.search.sharded import ShardedSearchDriver
+
+        driver = ShardedSearchDriver(
+            topology,
+            cost_model,
+            shards=query.shards,
+            simulator=simulator,
+            recorder=recorder,
+        )
+    else:
+        driver = SearchDriver(
+            topology,
+            cost_model,
+            simulator=simulator,
+            evaluator=evaluator,
+            recorder=recorder,
+        )
     space = SearchSpace(
         topology=topology,
         cost_model=cost_model,
@@ -645,6 +670,14 @@ class P2:
 
         from repro.service.fingerprint import plan_query_fingerprint
 
+        if query.shards > 1 and (
+            evaluator is not None or (n_workers is not None and n_workers > 1)
+        ):
+            raise EvaluationError(
+                f"shards={query.shards} cannot be combined with "
+                "n_workers/evaluator: sharded search runs its own worker "
+                "processes (pick one parallelism axis)"
+            )
         start = time.perf_counter()
         recorder = get_recorder()
         with recorder.span("plan") as root:
@@ -693,7 +726,9 @@ class P2:
             elif n_workers is not None and n_workers > 1:
                 workers = n_workers
             else:
-                workers = 1
+                # A sharded search is its own parallelism: report the shard
+                # width as the worker count the plan was computed with.
+                workers = query.shards if query.shards > 1 else 1
             return PlanOutcome(
                 query=query,
                 plan=computation.plan,

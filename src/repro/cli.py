@@ -120,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="search budget: stop enumerating candidates after "
                             "this much wall-clock time (best-so-far plan; "
                             "never cached)")
+        p.add_argument("--shards", type=int, default=None,
+                       help="partition the cold-path search across this many "
+                            "worker processes sharing a branch-and-bound "
+                            "incumbent (exhaustive results are identical to "
+                            "--shards 1; exclusive with --workers)")
 
     p_opt = sub.add_parser("optimize", help="synthesize and rank strategies for one shape")
     add_shape_arguments(p_opt)
@@ -198,6 +203,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist plans here (warm-starts later runs)")
     p_serve.add_argument("--workers", type=int, default=None,
                          help="process-pool size for cold-path evaluation")
+    p_serve.add_argument("--shards", type=int, default=None,
+                         help="default shard width for cold-path planning "
+                              "(queries carrying their own shards keep it; "
+                              "exclusive with --workers)")
     p_serve.add_argument("--max-program-size", type=int, default=5)
     p_serve.add_argument("--ready-file", type=str, default=None, metavar="FILE",
                          help='write {"host", "port", "pid", ...} JSON here once '
@@ -356,7 +365,10 @@ def _run_optimize(args: argparse.Namespace) -> int:
         max_program_size=args.max_program_size,
         max_candidates=args.max_candidates,
         time_budget_s=args.time_budget,
+        shards=1 if args.shards is None else args.shards,
     )
+    if query.shards > 1 and args.workers and args.workers > 1:
+        raise SystemExit("--shards and --workers are exclusive: pick one parallelism axis")
     p2 = P2(topology, max_program_size=args.max_program_size)
     outcome = p2.plan(query, n_workers=args.workers)
     if args.json:
@@ -510,11 +522,15 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
             )
             return 1
         raise SystemExit("serve-batch needs at least one --query or --queries-file")
-    if args.max_candidates is not None or args.time_budget is not None:
+    if (
+        args.max_candidates is not None
+        or args.time_budget is not None
+        or args.shards is not None
+    ):
         import dataclasses
 
-        # Uniform search budget for the batch; a query file that carries its
-        # own budget keeps it (the command line only fills the gaps).
+        # Uniform search budget / shard width for the batch; a query file
+        # that carries its own keeps it (the command line only fills gaps).
         queries = [
             dataclasses.replace(
                 query,
@@ -528,9 +544,16 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
                     if query.time_budget_s is not None
                     else args.time_budget
                 ),
+                shards=(
+                    query.shards
+                    if query.shards != 1 or args.shards is None
+                    else args.shards
+                ),
             )
             for query in queries
         ]
+    if args.workers and args.workers > 1 and any(q.shards > 1 for q in queries):
+        raise SystemExit("--shards and --workers are exclusive: pick one parallelism axis")
 
     cache = PlanCache(directory=args.cache_dir)
     with PlanningService(
@@ -569,6 +592,8 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     if args.no_tcp and not args.unix:
         raise SystemExit("serve --no-tcp needs --unix")
+    if args.shards and args.shards > 1 and args.workers and args.workers > 1:
+        raise SystemExit("--shards and --workers are exclusive: pick one parallelism axis")
     system = SystemKind(args.system)
     topology = system.build(args.nodes)
     # The daemon's `stats` op serves the live recorder; if --trace-out did
@@ -587,6 +612,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         rate_limit_burst=args.rate_burst,
         warm_path=args.warm,
         drain_timeout_s=args.drain_timeout,
+        shards=args.shards,
     )
 
     async def amain() -> None:
@@ -938,7 +964,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
     scenarios, measure, runs = _sweep_scenarios(args)
     if not scenarios:
         raise SystemExit("the sweep selected no scenarios")
-    if args.max_candidates is not None or args.time_budget is not None:
+    if (
+        args.max_candidates is not None
+        or args.time_budget is not None
+        or args.shards is not None
+    ):
         import dataclasses
 
         # A uniform search budget across the sweep (part of each scenario's
@@ -948,9 +978,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
                 scenario,
                 max_candidates=args.max_candidates,
                 time_budget_s=args.time_budget,
+                shards=args.shards if args.shards is not None else scenario.shards,
             )
             for scenario in scenarios
         ]
+    if args.shards and args.shards > 1 and (args.workers or 0) > 1:
+        raise SystemExit("--shards and --workers are exclusive: pick one parallelism axis")
 
     planner_factory = None
     if args.cache_dir is not None or (args.workers or 0) > 1:

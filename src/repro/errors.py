@@ -66,6 +66,11 @@ class QueryError(EvaluationError):
     """Raised for malformed planning queries (:class:`repro.query.PlanQuery`)."""
 
 
+class SearchError(ReproError):
+    """Raised by the streaming/sharded search for un-shardable source
+    configurations or worker-process failures (:mod:`repro.search`)."""
+
+
 class ServiceError(ReproError):
     """Raised by the planning service for malformed requests or cache state."""
 

@@ -74,6 +74,9 @@ class Scenario:
     # uniformly across a sweep.
     max_candidates: Optional[int] = None
     time_budget_s: Optional[float] = None
+    # Shard width for cold-path planning (PlanQuery.shards, fingerprint
+    # neutral); ``repro-cli sweep --shards`` sets it uniformly.
+    shards: int = 1
 
     @property
     def name(self) -> str:
@@ -97,6 +100,7 @@ class Scenario:
             max_program_size=self.config.max_program_size,
             max_candidates=self.max_candidates,
             time_budget_s=self.time_budget_s,
+            shards=self.shards,
         )
 
     def describe(self) -> str:

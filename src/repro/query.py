@@ -26,7 +26,7 @@ pre-existing transport feeds the same object model.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
 
 from typing import Protocol, runtime_checkable
@@ -70,6 +70,15 @@ class PlanQuery:
     # truncate the tail of the ranking.
     max_candidates: Optional[int] = None
     time_budget_s: Optional[float] = None
+    # Cold-path parallelism: partition the placement space across this many
+    # worker processes (repro.search.sharded).  Deliberately *not* part of
+    # the query's identity — ``compare=False`` keeps it out of equality and
+    # hashing, and to_dict() omits it, so fingerprints (and therefore the
+    # service's plan cache) are shard-neutral.  That neutrality is sound
+    # because exhaustive sharded plans are bit-identical to ``shards=1``
+    # (enforced by tests/test_search_driver.py and the CI shard-equivalence
+    # job) and budgeted plans are never cached.
+    shards: int = field(default=1, compare=False)
 
     @property
     def has_search_budget(self) -> bool:
@@ -144,6 +153,14 @@ class PlanQuery:
                     f"got {self.time_budget_s!r}"
                 )
             object.__setattr__(self, "time_budget_s", budget)
+        if (
+            isinstance(self.shards, bool)
+            or not isinstance(self.shards, int)
+            or self.shards < 1
+        ):
+            raise QueryError(
+                f"shards must be a positive integer, got {self.shards!r}"
+            )
         request.validate_against(axes)
 
     # ------------------------------------------------------------------ #
@@ -154,7 +171,10 @@ class PlanQuery:
 
         This dict *is* the canonical query the service fingerprints: change
         it and :data:`repro.service.fingerprint.FINGERPRINT_VERSION` must be
-        bumped.
+        bumped.  ``shards`` is deliberately absent — it parallelizes the cold
+        path without changing what the query *means* (exhaustive sharded
+        plans are bit-identical to serial ones), so it must not perturb
+        fingerprints or cache keys.
         """
         return {
             "axes": {"sizes": list(self.axes.sizes), "names": list(self.axes.names)},
@@ -236,6 +256,9 @@ class PlanQuery:
                 max_program_size=size,
                 max_candidates=data.get("max_candidates"),
                 time_budget_s=data.get("time_budget_s"),
+                # Transport-only: a wire/file query may ask for a sharded
+                # cold path even though to_dict() never emits the key.
+                shards=data.get("shards", 1),
             )
         except QueryError:
             raise
@@ -307,6 +330,8 @@ class PlanQuery:
             limits.append(f"max_candidates={self.max_candidates}")
         if self.time_budget_s is not None:
             limits.append(f"time_budget_s={self.time_budget_s:g}")
+        if self.shards > 1:
+            limits.append(f"shards={self.shards}")
         suffix = f" ({', '.join(limits)})" if limits else ""
         return (
             f"{self.axes.describe()} {self.request.describe(self.axes)}, "

@@ -16,7 +16,18 @@ from repro.search.bounds import (
     placement_lower_bound,
     program_lower_bound,
 )
-from repro.search.driver import SearchDriver, SearchReport, SearchResult
+from repro.search.driver import (
+    CandidateEvaluator,
+    SearchDriver,
+    SearchReport,
+    SearchResult,
+    driver_chunk_size,
+)
+from repro.search.sharded import (
+    PlacementLedger,
+    ShardedSearchDriver,
+    SharedWatermark,
+)
 from repro.search.source import (
     BASELINE_ALL_REDUCE,
     BASELINE_BLUECONNECT,
@@ -42,16 +53,21 @@ __all__ = [
     "ROLE_SEARCH",
     "ROLE_SEED",
     "BaselineSource",
+    "CandidateEvaluator",
     "CandidateSource",
     "PinnedPlanSource",
+    "PlacementLedger",
     "SearchDriver",
     "SearchReport",
     "SearchResult",
     "SearchSpace",
+    "ShardedSearchDriver",
+    "SharedWatermark",
     "StrategyEntry",
     "SynthesisSource",
     "Watermark",
     "default_sources",
+    "driver_chunk_size",
     "min_link_latency",
     "placement_lower_bound",
     "program_lower_bound",

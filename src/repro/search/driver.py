@@ -34,10 +34,22 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.cost.model import CostModel
+from repro.cost.nccl import NCCLAlgorithm
 from repro.cost.simulator import ProgramSimulator
+from repro.errors import ServiceError
 from repro.obs.recorder import Stopwatch, get_recorder
 from repro.search.bounds import program_lower_bound
 from repro.search.source import (
@@ -49,11 +61,18 @@ from repro.search.source import (
     Watermark,
     default_sources,
 )
+from repro.synthesis.lowering import LoweredProgram
 from repro.synthesis.pipeline import PlacementCandidate
 from repro.synthesis.pruning import SearchStatistics
 from repro.topology.topology import MachineTopology
 
-__all__ = ["SearchReport", "SearchResult", "SearchDriver"]
+__all__ = [
+    "CandidateEvaluator",
+    "SearchReport",
+    "SearchResult",
+    "SearchDriver",
+    "driver_chunk_size",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -63,6 +82,39 @@ _SENTINEL = object()
 # multiples of the worker count keep the incumbent fresh without starving
 # the pool.
 _CHUNK_PER_WORKER = 4
+
+
+@runtime_checkable
+class CandidateEvaluator(Protocol):
+    """The formal evaluator contract the search driver prices through.
+
+    ``n_workers`` is how wide the evaluator actually prices — the driver
+    sizes its budgeted chunks from it (see :func:`driver_chunk_size`), so it
+    is a *required* attribute, not an optional hint.
+    :class:`~repro.service.parallel.ParallelEvaluator` satisfies this
+    protocol; so must any duck-typed replacement.
+    """
+
+    n_workers: int
+
+    def evaluate(
+        self,
+        programs: Sequence[LoweredProgram],
+        bytes_per_device: float,
+        algorithm: NCCLAlgorithm,
+    ) -> List[float]:
+        """Predicted seconds for each program, in input order."""
+        ...
+
+
+def driver_chunk_size(n_workers: int) -> int:
+    """Entries buffered between watermark reads for an ``n_workers``-wide path.
+
+    One shared formula so the pooled driver and the sharded driver
+    (:mod:`repro.search.sharded`) agree on how much staleness a budgeted
+    incumbent can accumulate: a few entries per worker, never below 8.
+    """
+    return max(_CHUNK_PER_WORKER * n_workers, 8)
 
 
 @dataclass
@@ -82,9 +134,14 @@ class SearchReport:
     budget_stopped: bool = False  # stream cut by max_candidates
     time_stopped: bool = False    # stream cut by time_budget_s
     incumbent_seconds: Optional[float] = None  # final best exact time
+    shards: int = 1               # worker processes the search ran across
+    shard_steals: int = 0         # matrices claimed outside a shard's home slice
+    # Per-shard provenance (matrices claimed, steals, counters, seconds),
+    # populated only by the sharded driver.
+    shard_stats: Optional[List[Dict[str, Any]]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "sources": list(self.sources),
             "budgeted": self.budgeted,
             "considered": self.considered,
@@ -98,7 +155,12 @@ class SearchReport:
             "budget_stopped": self.budget_stopped,
             "time_stopped": self.time_stopped,
             "incumbent_seconds": self.incumbent_seconds,
+            "shards": self.shards,
+            "shard_steals": self.shard_steals,
         }
+        if self.shard_stats is not None:
+            data["shard_stats"] = [dict(stats) for stats in self.shard_stats]
+        return data
 
     def describe(self) -> str:
         stops = []
@@ -203,6 +265,23 @@ class SearchDriver:
         self.topology = topology
         self.cost_model = cost_model
         self.simulator = simulator
+        if evaluator is not None:
+            # The protocol is structural but enforced up front: a duck-typed
+            # evaluator without n_workers used to silently price with a
+            # default chunk size, which made the budgeted pooled and sharded
+            # paths disagree on watermark staleness.
+            if not callable(getattr(evaluator, "evaluate", None)):
+                raise ServiceError(
+                    f"evaluator {type(evaluator).__name__} has no evaluate() "
+                    "method (see repro.search.driver.CandidateEvaluator)"
+                )
+            n_workers = getattr(evaluator, "n_workers", None)
+            if not isinstance(n_workers, int) or n_workers < 1:
+                raise ServiceError(
+                    f"evaluator {type(evaluator).__name__} must declare "
+                    f"n_workers as a positive int, got {n_workers!r} "
+                    "(see repro.search.driver.CandidateEvaluator)"
+                )
         self.evaluator = evaluator
         self.recorder = recorder if recorder is not None else get_recorder()
 
@@ -211,20 +290,32 @@ class SearchDriver:
         self,
         space: SearchSpace,
         sources: Optional[Sequence[CandidateSource]] = None,
+        watermark: Optional[Watermark] = None,
     ) -> SearchResult:
-        """Drive one search over ``space`` and return everything it produced."""
+        """Drive one search over ``space`` and return everything it produced.
+
+        ``watermark`` injects a caller-owned incumbent — anything with the
+        :class:`~repro.search.source.Watermark` interface (a ``seconds``
+        attribute and an ``update(seconds) -> bool`` method).  The sharded
+        driver passes a cross-process view here so one shard's incumbent
+        bounds every other shard's search; ``None`` uses a fresh private one.
+        """
         source_list = list(sources) if sources is not None else default_sources()
         with self.recorder.span(
             "search.run", budgeted=space.query.has_search_budget
         ):
-            return self._run(space, source_list)
+            return self._run(space, source_list, watermark=watermark)
 
     def _run(
-        self, space: SearchSpace, source_list: List[CandidateSource]
+        self,
+        space: SearchSpace,
+        source_list: List[CandidateSource],
+        watermark: Optional[Watermark] = None,
     ) -> SearchResult:
         query = space.query
         budgeted = query.has_search_budget
-        watermark = Watermark()
+        if watermark is None:
+            watermark = Watermark()
         report = SearchReport(
             sources=[source.name for source in source_list], budgeted=budgeted
         )
@@ -264,8 +355,11 @@ class SearchDriver:
         batch_items: List[Tuple[StrategyEntry, str]] = []
         # Budgeted pool path: survivors buffered between watermark reads.
         chunk: List[StrategyEntry] = []
+        # n_workers is a formal attribute of the evaluator protocol
+        # (validated at construction), so the chunk size is explicit — no
+        # getattr default that silently mis-sizes the budgeted pool path.
         chunk_size = (
-            max(_CHUNK_PER_WORKER * getattr(self.evaluator, "n_workers", 1), 8)
+            driver_chunk_size(self.evaluator.n_workers)
             if self.evaluator is not None
             else 1
         )

@@ -186,9 +186,15 @@ class SynthesisSource:
     so that abandoning the stream mid-placement also abandons the deepest —
     exponentially dominant — program sizes.  Both paths produce the same
     entries in the same ``(size, signature)`` order.
+
+    ``matrix_indices`` restricts the stream to a subset of the canonical
+    matrix enumeration (by index, in enumeration order) — the unit of work a
+    shard claims in :mod:`repro.search.sharded`.  ``None`` (the default)
+    streams every matrix.
     """
 
     name: str = "synthesis"
+    matrix_indices: Optional[Sequence[int]] = None
     role: str = field(default=ROLE_SEARCH, init=False)
 
     def entries(
@@ -211,6 +217,7 @@ class SynthesisSource:
             node_limit=space.node_limit,
             validate=space.validate,
             max_matrices=query.max_matrices,
+            matrix_indices=self.matrix_indices,
         ):
             if self._placement_pruned(candidate.placement, space, watermark, report):
                 continue
@@ -236,6 +243,9 @@ class SynthesisSource:
         matrices = enumerate_search_matrices(
             space.topology.hierarchy, query.axes, query.request, query.max_matrices
         )
+        if self.matrix_indices is not None:
+            wanted = set(self.matrix_indices)
+            matrices = [m for i, m in enumerate(matrices) if i in wanted]
         synthesizer = Synthesizer(
             max_program_size=query.max_program_size, node_limit=space.node_limit
         )
@@ -336,9 +346,13 @@ class BaselineSource:
     10).  Entries are tagged with their baseline name so the driver can
     report each baseline's best-placement time on the
     :class:`~repro.api.OptimizationPlan`.
+
+    ``matrix_indices`` restricts the stream to a subset of the canonical
+    matrix enumeration, exactly like :class:`SynthesisSource`'s.
     """
 
     name: str = "baselines"
+    matrix_indices: Optional[Sequence[int]] = None
     role: str = field(default=ROLE_BASELINE, init=False)
 
     def entries(
@@ -348,6 +362,9 @@ class BaselineSource:
         matrices = enumerate_search_matrices(
             space.topology.hierarchy, query.axes, query.request, query.max_matrices
         )
+        if self.matrix_indices is not None:
+            wanted = set(self.matrix_indices)
+            matrices = [m for i, m in enumerate(matrices) if i in wanted]
         for matrix in matrices:
             placement = DevicePlacement(matrix)
             hierarchy = build_synthesis_hierarchy(matrix, query.request)

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import dataclasses
 import json
 import logging
 import os
@@ -88,10 +89,22 @@ class DaemonConfig:
     rate_limit_burst: Optional[float] = None  # default: max(1, rate)
     warm_path: Optional[str] = None
     drain_timeout_s: float = 30.0
+    # Default shard width applied to cold-path planning for requests that did
+    # not pick their own (wire queries with an explicit ``shards`` win);
+    # ``None`` leaves every query untouched.  Shards are fingerprint-neutral,
+    # so this never changes what the cache returns — only how fast cold
+    # exhaustive plans are computed.
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.port is None and self.unix_path is None:
             raise ServeError("daemon needs a TCP port or a unix_path (or both)")
+        if self.shards is not None and (
+            isinstance(self.shards, bool)
+            or not isinstance(self.shards, int)
+            or self.shards < 1
+        ):
+            raise ServeError(f"shards must be a positive integer, got {self.shards!r}")
         if self.queue_limit < 1:
             raise ServeError(f"queue_limit must be >= 1, got {self.queue_limit}")
         if self.max_line_bytes < 64:
@@ -481,12 +494,17 @@ class PlanDaemon:
         """
         assert request.query is not None
         tenant = request.tenant or "_anonymous"
+        query = request.query
+        if self.config.shards is not None and query.shards == 1:
+            # The daemon's default shard width; a query that asked for its
+            # own (shards != 1 on the wire) keeps it.
+            query = dataclasses.replace(query, shards=self.config.shards)
         with self.recorder.span(
             "serve.request", _parent=request.trace_parent, tenant=tenant
         ) as root:
             started = time.perf_counter()
             try:
-                outcome = self.service.plan(request.query)
+                outcome = self.service.plan(query)
             except ReproError as error:
                 self.recorder.count("serve.plan_failed")
                 return error_reply("plan_failed", str(error), request.request_id)

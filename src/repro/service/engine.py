@@ -222,7 +222,18 @@ class PlanningService:
             else:
                 recorder.count("cache.miss")
                 logger.debug("cache miss for %s; computing plan", fingerprint)
-                evaluator = self._ensure_evaluator() if self.n_workers > 1 else None
+                # A sharded query brings its own worker processes: the
+                # service's pricing pool is skipped for it (two pools would
+                # fight over the same cores), and the outcome reports the
+                # shard width as its worker count.  Exhaustive sharded plans
+                # are bit-identical to serial ones, so caching them under the
+                # shard-neutral fingerprint is sound.
+                sharded = query.shards > 1
+                evaluator = (
+                    self._ensure_evaluator()
+                    if self.n_workers > 1 and not sharded
+                    else None
+                )
                 pricing_simulator = (
                     evaluator.simulator if evaluator is not None else self._simulator
                 )
@@ -262,7 +273,7 @@ class PlanningService:
                     total_seconds=time.perf_counter() - start,
                     fingerprint=fingerprint,
                     cache_tier=None,
-                    n_workers=self.n_workers,
+                    n_workers=query.shards if sharded else self.n_workers,
                     profile_hits=pricing_simulator.profile_hits - hits_before,
                     profile_misses=pricing_simulator.profile_misses - misses_before,
                     search=computation.search_dict(),

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
 
 from repro.dsl.pretty import program_mnemonic
 from repro.errors import SynthesisError
@@ -172,6 +172,7 @@ def iter_placement_candidates(
     node_limit: int = 500_000,
     validate: bool = True,
     max_matrices: Optional[int] = None,
+    matrix_indices: Optional[Sequence[int]] = None,
 ) -> Iterator[PlacementCandidate]:
     """The P² synthesis pipeline as a lazy per-placement stream.
 
@@ -192,8 +193,18 @@ def iter_placement_candidates(
         a user error.
     max_matrices:
         Optional cap on the number of parallelism matrices considered.
+    matrix_indices:
+        Optional filter over the canonical (post ``max_matrices``) matrix
+        enumeration: only matrices at these indices are synthesized, in
+        enumeration order.  The sharded search driver
+        (:mod:`repro.search.sharded`) uses this to run the *identical*
+        per-matrix pipeline on a subset — same code path, same entries —
+        so its per-shard results concatenate back into the serial stream.
     """
     matrices = enumerate_search_matrices(hierarchy, axes, request, max_matrices)
+    if matrix_indices is not None:
+        wanted = set(matrix_indices)
+        matrices = [m for i, m in enumerate(matrices) if i in wanted]
     synthesizer = Synthesizer(max_program_size=max_program_size, node_limit=node_limit)
 
     def _generate() -> Iterator[PlacementCandidate]:

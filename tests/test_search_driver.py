@@ -358,3 +358,254 @@ class TestOptimizeDeprecation:
             )
         modern = p2.plan(query).plan
         assert _ranking(legacy) == _ranking(modern)
+
+
+class TestEvaluatorProtocol:
+    """n_workers is a formal attribute of the evaluator contract, not a hint."""
+
+    def test_parallel_evaluator_satisfies_protocol(self, topology):
+        from repro.search import CandidateEvaluator
+        from repro.service.parallel import ParallelEvaluator
+
+        with ParallelEvaluator(topology, CostModel(), 2) as pool:
+            assert isinstance(pool, CandidateEvaluator)
+            assert pool.n_workers == 2
+
+    def test_driver_rejects_evaluator_without_n_workers(self, topology):
+        from repro.errors import ServiceError
+        from repro.search import SearchDriver
+
+        class NoWidth:
+            def evaluate(self, programs, bytes_per_device, algorithm):
+                return [0.0] * len(programs)
+
+        with pytest.raises(ServiceError, match="n_workers"):
+            SearchDriver(topology, CostModel(), evaluator=NoWidth())
+
+    def test_driver_rejects_evaluator_without_evaluate(self, topology):
+        from repro.errors import ServiceError
+        from repro.search import SearchDriver
+
+        class NoEvaluate:
+            n_workers = 2
+
+        with pytest.raises(ServiceError, match="evaluate"):
+            SearchDriver(topology, CostModel(), evaluator=NoEvaluate())
+
+    def test_chunk_size_formula(self):
+        from repro.search import driver_chunk_size
+
+        assert driver_chunk_size(1) == 8
+        assert driver_chunk_size(2) == 8
+        assert driver_chunk_size(4) == 16
+
+
+class TestShardedSearch:
+    """The sharded driver's equivalence contract (repro.search.sharded)."""
+
+    @pytest.mark.parametrize("shape,reduce_axes", SHAPES)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_exhaustive_sharded_is_bit_identical(
+        self, topology, shape, reduce_axes, algorithm
+    ):
+        query = _query(shape, reduce_axes, 1 * MB, algorithm)
+        serial = P2(topology, max_program_size=3).plan(query)
+        sharded = P2(topology, max_program_size=3).plan(
+            dataclasses.replace(query, shards=4)
+        )
+        assert _ranking(serial.plan) == _ranking(sharded.plan)
+        assert serial.plan.baselines == sharded.plan.baselines
+        assert serial.fingerprint == sharded.fingerprint
+
+    @pytest.mark.parametrize("payload", PAYLOADS)
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_exhaustive_sharded_across_payloads_and_widths(
+        self, topology, payload, shards
+    ):
+        query = _query((8, 4), (0,), payload, NCCLAlgorithm.RING)
+        serial = P2(topology, max_program_size=3).plan(query)
+        sharded = P2(topology, max_program_size=3).plan(
+            dataclasses.replace(query, shards=shards)
+        )
+        assert _ranking(serial.plan) == _ranking(sharded.plan)
+        assert serial.plan.baselines == sharded.plan.baselines
+
+    def test_budgeted_sharded_keeps_lossless_best(self, topology):
+        query = _query(
+            (8, 4), (0,), 16 * MB, NCCLAlgorithm.RING, max_candidates=10**9
+        )
+        serial = P2(topology, max_program_size=3).plan(query)
+        sharded = P2(topology, max_program_size=3).plan(
+            dataclasses.replace(query, shards=2)
+        )
+        assert sharded.best.predicted_seconds == serial.best.predicted_seconds
+        assert sharded.best.program.signature() == serial.best.program.signature()
+        assert sharded.plan.baselines == serial.plan.baselines
+        assert sharded.search["budgeted"]
+
+    def test_sharded_report_provenance(self, topology):
+        import json
+
+        query = _query((8, 4), (0,), 1 * MB, NCCLAlgorithm.RING, shards=2)
+        outcome = P2(topology, max_program_size=3).plan(query)
+        search = outcome.search
+        assert search["shards"] == 2
+        stats = search["shard_stats"]
+        assert [entry["shard"] for entry in stats] == [0, 1]
+        claimed = sorted(i for entry in stats for i in entry["matrices"])
+        assert claimed == list(range(search["matrices_reached"]))
+        assert outcome.n_workers == 2
+        json.dumps(outcome.to_dict())  # provenance stays strict-JSON
+
+    def test_shards_are_fingerprint_neutral(self, topology):
+        from repro.cost.model import CostModel
+        from repro.service.fingerprint import plan_query_fingerprint
+
+        base = _query((8, 4), (0,), 1 * MB, NCCLAlgorithm.RING)
+        sharded = dataclasses.replace(base, shards=4)
+        assert base == sharded  # compare=False: shards don't change identity
+        assert plan_query_fingerprint(
+            topology, base, CostModel()
+        ) == plan_query_fingerprint(topology, sharded, CostModel())
+        assert "shards" not in base.to_dict()
+        assert PlanQuery.from_dict({**base.to_dict(), "shards": 4}).shards == 4
+
+    def test_shards_validation(self):
+        from repro.errors import QueryError
+
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(QueryError):
+                PlanQuery(
+                    ParallelismAxes.of(8, 4),
+                    ReductionRequest.over(0),
+                    1 * MB,
+                    shards=bad,
+                )
+
+    def test_shards_conflict_with_workers(self, topology):
+        from repro.errors import EvaluationError
+
+        query = _query((8, 4), (0,), 1 * MB, NCCLAlgorithm.RING, shards=2)
+        with pytest.raises(EvaluationError, match="shards"):
+            P2(topology, max_program_size=3).plan(query, n_workers=2)
+
+    def test_custom_sources_are_unshardable(self, topology):
+        from repro.errors import SearchError
+        from repro.search import SearchSpace
+        from repro.search.sharded import ShardedSearchDriver
+
+        class CustomSource:
+            name = "custom"
+            role = "search"
+
+            def entries(self, space, watermark, report):
+                return iter(())
+
+        query = _query((8, 4), (0,), 1 * MB, NCCLAlgorithm.RING)
+        driver = ShardedSearchDriver(topology, CostModel(), shards=2)
+        space = SearchSpace(topology=topology, cost_model=CostModel(), query=query)
+        with pytest.raises(SearchError, match="cannot shard"):
+            driver.run(space, sources=[CustomSource()])
+
+    def test_single_matrix_falls_back_to_serial(self, topology):
+        # One placement only: the sharded driver must not spawn workers, and
+        # the report shows a serial (shards=1) search.
+        query = _query((32,), (0,), 1 * MB, NCCLAlgorithm.RING, shards=4)
+        outcome = P2(topology, max_program_size=3).plan(query)
+        assert outcome.search["shards"] == 1
+        assert "shard_stats" not in outcome.search
+
+    def test_pinned_seed_prices_in_parent(self, topology):
+        from repro.search import PinnedPlanSource, default_sources
+
+        query = _query((8, 4), (0,), 1 * MB, NCCLAlgorithm.RING)
+        first = P2(topology, max_program_size=3).plan(query)
+        sources = [PinnedPlanSource.from_plan(first.plan, top_k=1), *default_sources()]
+        outcome = P2(topology, max_program_size=3).plan(
+            dataclasses.replace(query, shards=2), sources=sources
+        )
+        assert outcome.search["seeds"] == 1
+        assert _ranking(outcome.plan) == _ranking(first.plan)
+
+
+class TestPlacementLedger:
+    def test_home_slices_come_first(self):
+        from repro.search.sharded import PlacementLedger
+
+        ledger = PlacementLedger(6, 2)
+        assert ledger.claim(0) == (0, False)
+        assert ledger.claim(1) == (1, False)
+        assert ledger.claim(0) == (2, False)
+        assert ledger.claim(0) == (4, False)
+
+    def test_exhausted_home_slice_steals(self):
+        from repro.search.sharded import PlacementLedger
+
+        ledger = PlacementLedger(5, 2)
+        # Shard 0 drains its home slice {0, 2, 4}...
+        assert [ledger.claim(0) for _ in range(3)] == [
+            (0, False),
+            (2, False),
+            (4, False),
+        ]
+        # ...then steals shard 1's unclaimed work, flagged as stolen.
+        assert ledger.claim(0) == (1, True)
+        assert ledger.claim(0) == (3, True)
+        assert ledger.claim(0) is None
+        assert ledger.claim(1) is None
+        assert ledger.claimed_count() == 5
+
+    def test_every_matrix_claimed_exactly_once(self):
+        from repro.search.sharded import PlacementLedger
+
+        ledger = PlacementLedger(11, 3)
+        claims = []
+        while True:
+            progressed = False
+            for shard in range(3):
+                claim = ledger.claim(shard)
+                if claim is not None:
+                    claims.append(claim[0])
+                    progressed = True
+            if not progressed:
+                break
+        assert sorted(claims) == list(range(11))
+
+
+class TestSharedWatermark:
+    def test_view_updates_propagate_globally(self):
+        from repro.search.sharded import SharedWatermark
+
+        shared = SharedWatermark(3)
+        view0, view2 = shared.matrix_view(0), shared.matrix_view(2)
+        assert view0.seconds == float("inf")
+        assert view0.update(5.0)
+        # The other matrix's view reads the *global* incumbent immediately.
+        assert view2.seconds == 5.0
+        assert not view2.update(7.0)  # worse globally...
+        assert shared.matrix_seconds(2) == 7.0  # ...but its matrix slot kept it
+        assert view2.update(1.0)
+        assert view0.seconds == 1.0
+        assert shared.seconds == 1.0
+        assert shared.matrix_seconds(0) == 5.0
+
+    def test_updates_cross_process_boundaries(self):
+        import multiprocessing
+
+        from repro.search.sharded import SharedWatermark
+
+        shared = SharedWatermark(2)
+        process = multiprocessing.Process(
+            target=_lower_watermark_in_child, args=(shared,)
+        )
+        process.start()
+        process.join(timeout=30)
+        assert process.exitcode == 0
+        assert shared.seconds == 0.25
+        assert shared.matrix_seconds(1) == 0.25
+
+
+def _lower_watermark_in_child(shared):
+    view = shared.matrix_view(1)
+    if not view.update(0.25):
+        raise SystemExit(1)
