@@ -1,0 +1,135 @@
+"""Benchmark — vectorized batch pricing vs. the scalar price_profile loop.
+
+Payload-ladder sweeps are the simulator's hottest repeat customer: every
+program is re-priced at every rung.  :class:`~repro.cost.batch.BatchPricer`
+compiles each profile's per-class coefficients into numpy tables once and
+prices the whole ladder with one kernel per (program, algorithm).
+
+This benchmark takes every program the synthesis pipeline produces for the
+A100 ``[8 4]`` shape and prices all of them across a 16-point payload ladder
+under both NCCL algorithms, once through per-payload ``price_profile`` calls
+(the scalar loop) and once through batched ``BatchPricer.price`` calls.  The
+acceptance bar is a >= 5x median speedup *with exact float equality on every
+(program, payload, algorithm) cell* — the batch path must be a pure
+re-arrangement of the same arithmetic, never an approximation.  Program,
+payload and cell counts are deterministic for the workload and gate exactly
+in CI; the speedup is asserted here, not gated by the baseline.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.api import collect_strategy_entries
+from repro.cost.batch import BatchPricer, have_numpy
+from repro.cost.nccl import NCCLAlgorithm
+from repro.cost.profile import price_profile
+from repro.cost.simulator import ProgramSimulator
+from repro.hierarchy.parallelism import ParallelismAxes, ReductionRequest
+from repro.synthesis.pipeline import synthesize_all
+from repro.topology.gcp import a100_system
+from repro.utils.tabulate import format_table
+
+MB = 1 << 20
+# 16 rungs spanning latency- to bandwidth-dominated payloads.
+PAYLOAD_LADDER = tuple(float(1 << (10 + rung)) for rung in range(16))
+ALGORITHMS = (NCCLAlgorithm.RING, NCCLAlgorithm.TREE)
+SPEEDUP_BAR = 5.0
+ROUNDS = 5
+
+
+@pytest.mark.benchmark(group="batch-pricing")
+def test_batch_pricing_vs_scalar_loop(benchmark, save_artifact, bench_json):
+    if not have_numpy():
+        pytest.skip("batch pricing benchmark requires numpy")
+    topology = a100_system(num_nodes=2)
+    request = ReductionRequest.over(0)
+    candidates = synthesize_all(
+        topology.hierarchy, ParallelismAxes.of(8, 4), request, max_program_size=3
+    )
+    entries = collect_strategy_entries(candidates, request)
+    programs = [e.lowered for e in entries if e.lowered.num_steps > 0]
+
+    simulator = ProgramSimulator(topology)
+    model = simulator.cost_model
+    profiles = [simulator.profile_for(program) for program in programs]
+    pricers = [BatchPricer(profile) for profile in profiles]
+
+    def scalar_ladder():
+        return [
+            [
+                [
+                    price_profile(profile, payload, algorithm, model).total_seconds
+                    for payload in PAYLOAD_LADDER
+                ]
+                for profile in profiles
+            ]
+            for algorithm in ALGORITHMS
+        ]
+
+    def batch_ladder():
+        return [
+            [
+                pricer.price(PAYLOAD_LADDER, algorithm, model).totals
+                for pricer in pricers
+            ]
+            for algorithm in ALGORITHMS
+        ]
+
+    def one_round():
+        start = time.perf_counter()
+        batched = batch_ladder()
+        batch_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        scalar = scalar_ladder()
+        scalar_seconds = time.perf_counter() - start
+        return batch_seconds, scalar_seconds, batched, scalar
+
+    rounds = benchmark.pedantic(
+        lambda: [one_round() for _ in range(ROUNDS)], rounds=1, iterations=1
+    )
+    batch_median = statistics.median(r[0] for r in rounds)
+    scalar_median = statistics.median(r[1] for r in rounds)
+    speedup = scalar_median / batch_median
+
+    # Exact float equality on EVERY (algorithm, program, payload) cell of
+    # every round — the acceptance contract of the batch path.
+    cells = 0
+    for _, _, batched, scalar in rounds:
+        assert batched == scalar
+        cells = sum(len(row) for grid in batched for row in grid)
+    assert cells == len(programs) * len(PAYLOAD_LADDER) * len(ALGORITHMS)
+
+    text = format_table(
+        ["path", "median seconds (full grid)", "speedup"],
+        [
+            ["scalar price_profile loop", scalar_median, 1.0],
+            ["vectorized BatchPricer", batch_median, speedup],
+        ],
+        title=(
+            f"Batch pricing: {len(programs)} programs x "
+            f"{len(PAYLOAD_LADDER)}-point ladder x {len(ALGORITHMS)} algorithms "
+            f"({cells} cells, all exact-equal)"
+        ),
+        float_fmt="{:.4f}",
+    )
+    save_artifact("batch_pricing", text)
+    bench_json(
+        "batch_pricing",
+        batch_median,
+        counters={
+            "programs": len(programs),
+            "payloads": len(PAYLOAD_LADDER),
+            "algorithms": len(ALGORITHMS),
+            "cells": cells,
+        },
+        extra={"speedup_vs_scalar": speedup, "scalar_median_seconds": scalar_median},
+    )
+
+    assert speedup >= SPEEDUP_BAR, (
+        f"batch pricing only {speedup:.1f}x faster than the scalar loop "
+        f"(bar: {SPEEDUP_BAR}x)"
+    )

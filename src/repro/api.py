@@ -584,6 +584,23 @@ class P2:
     _simulator: Optional[ProgramSimulator] = field(
         default=None, init=False, repr=False, compare=False
     )
+    _payload_ladder: Optional[Tuple[float, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def set_payload_ladder(self, payloads=None) -> None:
+        """Install (or clear) the simulator's payload-ladder memo.
+
+        Sweeps that re-plan the same shapes across a payload ladder call
+        this with the full ladder before the first rung; the simulator then
+        prices each compiled signature for the *entire* ladder in one
+        vectorized batch and answers later rungs from the memo (see
+        :meth:`~repro.cost.simulator.ProgramSimulator.set_payload_ladder`).
+        The ladder survives simulator rebuilds on topology/cost-model
+        reassignment.
+        """
+        self._payload_ladder = tuple(payloads) if payloads is not None else None
+        self.simulator.set_payload_ladder(self._payload_ladder)
 
     @property
     def simulator(self) -> ProgramSimulator:
@@ -604,6 +621,8 @@ class P2:
             or simulator.cost_model != self.cost_model
         ):
             simulator = ProgramSimulator(self.topology, self.cost_model)
+            if self._payload_ladder is not None:
+                simulator.set_payload_ladder(self._payload_ladder)
             self._simulator = simulator
         return simulator
 

@@ -29,8 +29,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.cost.batch import BatchPricer, BatchPriceResult, have_numpy, price_programs
 from repro.cost.contention import analyze_step_contention
 from repro.cost.model import CostModel
 from repro.cost.nccl import NCCLAlgorithm
@@ -112,7 +113,27 @@ class ProgramSimulator:
     )
     profile_hits: int = field(default=0, init=False, repr=False, compare=False)
     profile_misses: int = field(default=0, init=False, repr=False, compare=False)
+    # Batch-pricing provenance: how many vectorized kernel invocations ran,
+    # how many (program, payload) cells they covered, and how many calls fell
+    # back to the scalar loop (numpy unavailable).  Mirrored into the
+    # telemetry recorder as ``batch.prices`` / ``batch.payloads`` /
+    # ``batch.fallback``.
+    batch_prices: int = field(default=0, init=False, repr=False, compare=False)
+    batch_payloads: int = field(default=0, init=False, repr=False, compare=False)
+    batch_fallbacks: int = field(default=0, init=False, repr=False, compare=False)
     _profiles: "OrderedDict[Tuple, SimulationProfile]" = field(
+        default_factory=OrderedDict, init=False, repr=False, compare=False
+    )
+    _pricers: "OrderedDict[Tuple, BatchPricer]" = field(
+        default_factory=OrderedDict, init=False, repr=False, compare=False
+    )
+    _ladder: Optional[Tuple[float, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _ladder_index: Dict[float, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _ladder_memo: "OrderedDict[Tuple, BatchPriceResult]" = field(
         default_factory=OrderedDict, init=False, repr=False, compare=False
     )
 
@@ -122,13 +143,177 @@ class ProgramSimulator:
         bytes_per_device: float,
         algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
     ) -> SimulationResult:
-        """Predict the end-to-end time of ``program`` (profile fast path)."""
+        """Predict the end-to-end time of ``program`` (profile fast path).
+
+        When a payload ladder is installed (:meth:`set_payload_ladder`) and
+        ``bytes_per_device`` is one of its rungs, the whole ladder is priced
+        through the vectorized :class:`~repro.cost.batch.BatchPricer` on the
+        first rung and memoized per ``(signature, algorithm)``; later rungs
+        are O(1) lookups.  Results are exactly the floats the scalar loop
+        produces — the contract :mod:`repro.cost.batch` maintains.
+        """
         self._validate(program, bytes_per_device)
         profile = self.profile_for(program)
+        if self._ladder is not None:
+            column = self._ladder_index.get(float(bytes_per_device))
+            if column is not None:
+                memo = self._ladder_result(program, profile, algorithm)
+                return memo.result(column, label=program.label)
         with self.recorder.span("profile.price", steps=program.num_steps):
             return price_profile(
                 profile, bytes_per_device, algorithm, self.cost_model, label=program.label
             )
+
+    def simulate_batch(
+        self,
+        program: LoweredProgram,
+        payloads: Sequence[float],
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+    ) -> BatchPriceResult:
+        """Price ``program`` across a whole payload vector in one kernel.
+
+        Backed by the same profile cache as :meth:`simulate` (hit/miss
+        accounting is identical) plus a per-signature
+        :class:`~repro.cost.batch.BatchPricer` cache, so re-pricing a known
+        signature at a new ladder skips both semantics and table building.
+        Totals, per-step seconds, bottleneck links and payloads are exactly
+        equal to per-payload :meth:`simulate` calls.
+        """
+        values = list(payloads)
+        self._validate(program, 0.0)
+        profile = self.profile_for(program)
+        pricer = self.pricer_for(program.signature(), profile)
+        with self.recorder.span(
+            "profile.price", steps=program.num_steps, payloads=len(values)
+        ):
+            result = pricer.price(
+                values, algorithm, self.cost_model, label=program.label
+            )
+        self._count_batch(result.vectorized, result.num_payloads)
+        return result
+
+    def simulate_many(
+        self,
+        programs: Sequence[LoweredProgram],
+        bytes_per_device: float,
+        algorithm: NCCLAlgorithm = NCCLAlgorithm.RING,
+    ) -> List[float]:
+        """Total predicted seconds for many programs at one payload.
+
+        One flattened :func:`~repro.cost.batch.price_programs` kernel prices
+        every program's class rows together; with a payload ladder installed
+        and ``bytes_per_device`` on it, each program instead reads (and on
+        first touch fills) its ladder memo, so the remaining rungs of a sweep
+        are pure lookups.  Profiles are resolved through :meth:`profile_for`
+        in input order — the hit/miss provenance is exactly what per-program
+        :meth:`simulate` calls would record.
+        """
+        if not programs:
+            return []
+        for program in programs:
+            self._validate(program, bytes_per_device)
+        profiles = [self.profile_for(program) for program in programs]
+        column = (
+            self._ladder_index.get(float(bytes_per_device))
+            if self._ladder is not None
+            else None
+        )
+        with self.recorder.span(
+            "profile.price", programs=len(programs), batched=True
+        ):
+            if column is not None:
+                totals = [
+                    self._ladder_result(program, profile, algorithm).total(column)
+                    for program, profile in zip(programs, profiles)
+                ]
+                return totals
+            pricers = [
+                self.pricer_for(program.signature(), profile)
+                for program, profile in zip(programs, profiles)
+            ]
+            totals = price_programs(
+                pricers, bytes_per_device, algorithm, self.cost_model
+            )
+        self._count_batch(have_numpy(), len(programs))
+        return totals
+
+    def set_payload_ladder(
+        self, payloads: Optional[Sequence[float]] = None
+    ) -> None:
+        """Install (or clear, with ``None``) the payload-ladder memo.
+
+        A sweep that re-plans the same shapes across a payload ladder calls
+        this with the full ladder up front; every rung after a signature's
+        first is then answered from the memoized batch result.  Installing a
+        ladder drops previous memos; ladders with fewer than two distinct
+        payloads clear the memo entirely (no batching to amortize).
+        """
+        self._ladder_memo.clear()
+        self._ladder_index = {}
+        if payloads is None:
+            self._ladder = None
+            return
+        values = [float(p) for p in payloads]
+        for value in values:
+            if value < 0:
+                raise CostModelError("bytes_per_device must be non-negative")
+        distinct: List[float] = []
+        for value in values:
+            if value not in distinct:
+                distinct.append(value)
+        if len(distinct) < 2 or not have_numpy():
+            self._ladder = None
+            return
+        self._ladder = tuple(distinct)
+        self._ladder_index = {value: i for i, value in enumerate(distinct)}
+
+    @property
+    def payload_ladder(self) -> Optional[Tuple[float, ...]]:
+        return self._ladder
+
+    def _ladder_result(
+        self,
+        program: LoweredProgram,
+        profile: SimulationProfile,
+        algorithm: NCCLAlgorithm,
+    ) -> BatchPriceResult:
+        key = (program.signature(), algorithm)
+        memo = self._ladder_memo.get(key)
+        if memo is not None:
+            self._ladder_memo.move_to_end(key)
+            return memo
+        pricer = self.pricer_for(program.signature(), profile)
+        with self.recorder.span(
+            "profile.price", steps=program.num_steps, payloads=len(self._ladder)
+        ):
+            memo = pricer.price(self._ladder, algorithm, self.cost_model)
+        self._count_batch(memo.vectorized, memo.num_payloads)
+        self._ladder_memo[key] = memo
+        if len(self._ladder_memo) > self.profile_cache_size:
+            self._ladder_memo.popitem(last=False)
+        return memo
+
+    def pricer_for(self, key: Tuple, profile: SimulationProfile) -> BatchPricer:
+        """The (cached) coefficient tables for one profile signature."""
+        pricer = self._pricers.get(key)
+        if pricer is not None:
+            self._pricers.move_to_end(key)
+            return pricer
+        pricer = BatchPricer(profile)
+        self._pricers[key] = pricer
+        if len(self._pricers) > self.profile_cache_size:
+            self._pricers.popitem(last=False)
+        return pricer
+
+    def _count_batch(self, vectorized: bool, payloads: int) -> None:
+        if vectorized:
+            self.batch_prices += 1
+            self.batch_payloads += payloads
+            self.recorder.count("batch.prices")
+            self.recorder.count("batch.payloads", payloads)
+        else:
+            self.batch_fallbacks += 1
+            self.recorder.count("batch.fallback")
 
     def profile_for(self, program: LoweredProgram) -> SimulationProfile:
         """The compiled profile of ``program``, from the LRU cache when known."""
@@ -193,8 +378,10 @@ class ProgramSimulator:
         return len(self._profiles)
 
     def clear_profiles(self) -> None:
-        """Drop every cached profile (counters are left running)."""
+        """Drop every cached profile, pricer table and ladder memo."""
         self._profiles.clear()
+        self._pricers.clear()
+        self._ladder_memo.clear()
 
     # ------------------------------------------------------------------ #
     # Reference implementation (the executable specification)

@@ -1,0 +1,49 @@
+"""Shared per-topology simulators for the table/figure builders.
+
+The row generators in :mod:`repro.evaluation.tables` price many programs on
+the same handful of topologies; constructing a fresh
+:class:`~repro.cost.simulator.ProgramSimulator` per row discards the
+compiled-profile and coefficient-table caches exactly where they pay off
+(every table-3 shape reprices the same default-AllReduce signatures four
+times over).  :func:`shared_simulator` keys one simulator per canonical
+topology (structurally equal topologies share, whatever instance built
+them) and cost model, so repeated shapes compile once per process.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.cost.model import CostModel
+from repro.cost.simulator import ProgramSimulator
+from repro.service.fingerprint import canonical_topology
+from repro.topology.topology import MachineTopology
+
+__all__ = ["shared_simulator", "clear_shared_simulators"]
+
+_SIMULATORS: "OrderedDict[Tuple[str, CostModel], ProgramSimulator]" = OrderedDict()
+_MAX_SIMULATORS = 16
+
+
+def shared_simulator(
+    topology: MachineTopology, cost_model: Optional[CostModel] = None
+) -> ProgramSimulator:
+    """The process-wide simulator for ``topology`` (built on first use)."""
+    model = cost_model if cost_model is not None else CostModel()
+    key = (json.dumps(canonical_topology(topology), sort_keys=True), model)
+    simulator = _SIMULATORS.get(key)
+    if simulator is None:
+        simulator = ProgramSimulator(topology, model)
+        _SIMULATORS[key] = simulator
+        if len(_SIMULATORS) > _MAX_SIMULATORS:
+            _SIMULATORS.popitem(last=False)
+    else:
+        _SIMULATORS.move_to_end(key)
+    return simulator
+
+
+def clear_shared_simulators() -> None:
+    """Drop every shared simulator (tests that count compiles call this)."""
+    _SIMULATORS.clear()

@@ -12,7 +12,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.allreduce import default_all_reduce
 from repro.cost.nccl import NCCLAlgorithm
-from repro.cost.simulator import ProgramSimulator
 from repro.errors import EvaluationError
 from repro.evaluation.accuracy import DEFAULT_TOP_KS, accuracy_table
 from repro.evaluation.config import (
@@ -23,6 +22,7 @@ from repro.evaluation.config import (
     table5_configs,
 )
 from repro.evaluation.runner import SweepResult, SweepRunner
+from repro.evaluation.simulators import shared_simulator
 from repro.hierarchy.matrix import enumerate_parallelism_matrices
 from repro.hierarchy.placement import DevicePlacement
 from repro.runtime.events import TestbedSimulator
@@ -75,11 +75,15 @@ def _allreduce_time(
     if program.num_steps == 0:
         return 0.0
     if measured:
+        # Testbed rows stay per-row: the noise model is reseeded per call so
+        # row values are order-independent, which a shared instance would break.
         testbed = TestbedSimulator(topology, NoiseModel(seed=noise_seed))
         return testbed.measure(
             program, config.bytes_per_device, config.algorithm, num_runs=3
         ).total_seconds
-    simulator = ProgramSimulator(topology)
+    # Predicted rows share one simulator per topology, so the repeated
+    # default-AllReduce signatures across matrices/algorithms compile once.
+    simulator = shared_simulator(topology)
     return simulator.simulate(
         program, config.bytes_per_device, config.algorithm
     ).total_seconds

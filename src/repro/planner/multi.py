@@ -18,8 +18,9 @@ and the selection of a mapping should take all of them into account".
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.allreduce import default_all_reduce
 from repro.cost.model import CostModel
@@ -118,6 +119,11 @@ class MultiReductionPlan:
     reductions: Tuple[WeightedReduction, ...]
     algorithm: NCCLAlgorithm
     placements: List[PlacementEvaluation]
+    #: Pricing provenance for plans built by :meth:`MultiReductionPlanner.plan`:
+    #: profile hit/miss and batch-pricing counter deltas for this plan.
+    #: ``None`` for plans sourced from an external planner (:meth:`plan_with`),
+    #: whose provenance lives in that planner's own reports.
+    provenance: Optional[Dict[str, int]] = None
 
     @property
     def best(self) -> PlacementEvaluation:
@@ -177,6 +183,26 @@ class MultiReductionPlanner:
     cost_model: CostModel = field(default_factory=CostModel)
     max_program_size: int = 3
     node_limit: int = 500_000
+    _simulator_cache: Optional[ProgramSimulator] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _simulator_key: Optional[Tuple[int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def simulator(self) -> ProgramSimulator:
+        """The planner's persistent simulator (rebuilt if topology/model change).
+
+        Keeping one simulator across :meth:`plan` calls preserves its
+        compiled-profile and coefficient-table caches, so repeated planning
+        over the same axes prices from cache instead of recompiling.
+        """
+        key = (id(self.topology), id(self.cost_model))
+        if self._simulator_cache is None or self._simulator_key != key:
+            self._simulator_cache = ProgramSimulator(self.topology, self.cost_model)
+            self._simulator_key = key
+        return self._simulator_cache
 
     def queries_for(
         self,
@@ -302,71 +328,124 @@ class MultiReductionPlanner:
                 f"{self.topology.hierarchy.describe()}"
             )
 
-        simulator = ProgramSimulator(self.topology, self.cost_model)
+        simulator = self.simulator
+        before = (
+            simulator.profile_hits,
+            simulator.profile_misses,
+            simulator.batch_prices,
+            simulator.batch_payloads,
+            simulator.batch_fallbacks,
+        )
         synthesizer = Synthesizer(
             max_program_size=self.max_program_size, node_limit=self.node_limit
         )
+        # Reductions that share a request differ only in payload: synthesize
+        # their strategies once per matrix and price each strategy over the
+        # whole payload vector in one batched call.
+        groups: "OrderedDict[ReductionRequest, List[int]]" = OrderedDict()
+        for i, reduction in enumerate(reductions):
+            groups.setdefault(reduction.request, []).append(i)
+
         evaluations: List[PlacementEvaluation] = []
         for matrix in matrices:
             placement = DevicePlacement(matrix)
-            choices: List[ReductionChoice] = []
-            for reduction in reductions:
-                choices.append(
-                    self._best_choice(
-                        reduction, matrix, placement, synthesizer, simulator, algorithm
-                    )
+            choices: List[Optional[ReductionChoice]] = [None] * len(reductions)
+            for request, members in groups.items():
+                group = [reductions[i] for i in members]
+                group_choices = self._group_choices(
+                    request, group, matrix, placement, synthesizer, simulator, algorithm
                 )
+                for i, choice in zip(members, group_choices):
+                    choices[i] = choice
             evaluations.append(PlacementEvaluation(matrix=matrix, choices=tuple(choices)))
         evaluations.sort(key=lambda evaluation: evaluation.total_seconds)
+        provenance = {
+            "profile_hits": simulator.profile_hits - before[0],
+            "profile_misses": simulator.profile_misses - before[1],
+            "batch_prices": simulator.batch_prices - before[2],
+            "batch_payloads": simulator.batch_payloads - before[3],
+            "batch_fallbacks": simulator.batch_fallbacks - before[4],
+        }
         return MultiReductionPlan(
             axes=axes,
             reductions=tuple(reductions),
             algorithm=algorithm,
             placements=evaluations,
+            provenance=provenance,
         )
 
     # ------------------------------------------------------------------ #
-    def _best_choice(
+    def _group_choices(
         self,
-        reduction: WeightedReduction,
+        request: ReductionRequest,
+        group: Sequence[WeightedReduction],
         matrix: ParallelismMatrix,
         placement: DevicePlacement,
         synthesizer: Synthesizer,
         simulator: ProgramSimulator,
         algorithm: NCCLAlgorithm,
-    ) -> ReductionChoice:
-        baseline = default_all_reduce(placement, reduction.request)
+    ) -> List[ReductionChoice]:
+        """Best strategy per reduction in ``group`` (all share ``request``).
+
+        One synthesis run covers the group; every candidate is priced across
+        the group's distinct payloads in a single :meth:`~ProgramSimulator.
+        simulate_batch` call, and each payload column keeps the strict-``<``
+        first-better selection of the per-reduction scalar scan — identical
+        winners and identical floats.
+        """
+        baseline = default_all_reduce(placement, request)
         if baseline.num_steps == 0:
-            return ReductionChoice(
-                reduction=reduction,
-                program=baseline,
-                mnemonic="-",
-                seconds=0.0,
-                all_reduce_seconds=0.0,
-            )
-        baseline_seconds = simulator.simulate(
-            baseline, reduction.bytes_per_device, algorithm
-        ).total_seconds
+            return [
+                ReductionChoice(
+                    reduction=reduction,
+                    program=baseline,
+                    mnemonic="-",
+                    seconds=0.0,
+                    all_reduce_seconds=0.0,
+                )
+                for reduction in group
+            ]
 
-        best_program = baseline
-        best_mnemonic = "AR"
-        best_seconds = baseline_seconds
+        # Distinct payloads in first-occurrence order; each reduction in the
+        # group maps to one column of the batched results.
+        payloads: List[float] = []
+        columns: List[int] = []
+        column_of: Dict[float, int] = {}
+        for reduction in group:
+            payload = float(reduction.bytes_per_device)
+            column = column_of.get(payload)
+            if column is None:
+                column = len(payloads)
+                column_of[payload] = column
+                payloads.append(payload)
+            columns.append(column)
 
-        hierarchy = build_synthesis_hierarchy(matrix, reduction.request)
+        baseline_totals = simulator.simulate_batch(baseline, payloads, algorithm).totals
+
+        best_programs: List[LoweredProgram] = [baseline] * len(payloads)
+        best_mnemonics: List[str] = ["AR"] * len(payloads)
+        best_seconds: List[float] = list(baseline_totals)
+
+        hierarchy = build_synthesis_hierarchy(matrix, request)
         result = synthesizer.synthesize(hierarchy)
         for synthesized in result.programs:
             lowered = lower_synthesized(synthesized, hierarchy, placement)
-            seconds = simulator.simulate(
-                lowered, reduction.bytes_per_device, algorithm
-            ).total_seconds
-            if seconds < best_seconds:
-                best_seconds = seconds
-                best_program = lowered
-                best_mnemonic = program_mnemonic(synthesized.program)
-        return ReductionChoice(
-            reduction=reduction,
-            program=best_program,
-            mnemonic=best_mnemonic,
-            seconds=best_seconds,
-            all_reduce_seconds=baseline_seconds,
-        )
+            totals = simulator.simulate_batch(lowered, payloads, algorithm).totals
+            mnemonic: Optional[str] = None
+            for column, seconds in enumerate(totals):
+                if seconds < best_seconds[column]:
+                    if mnemonic is None:
+                        mnemonic = program_mnemonic(synthesized.program)
+                    best_seconds[column] = seconds
+                    best_programs[column] = lowered
+                    best_mnemonics[column] = mnemonic
+        return [
+            ReductionChoice(
+                reduction=reduction,
+                program=best_programs[column],
+                mnemonic=best_mnemonics[column],
+                seconds=best_seconds[column],
+                all_reduce_seconds=baseline_totals[column],
+            )
+            for reduction, column in zip(group, columns)
+        ]

@@ -134,6 +134,9 @@ class SearchReport:
     budget_stopped: bool = False  # stream cut by max_candidates
     time_stopped: bool = False    # stream cut by time_budget_s
     incumbent_seconds: Optional[float] = None  # final best exact time
+    batch_prices: int = 0         # vectorized batch-pricing kernel invocations
+    batch_payloads: int = 0       # (program, payload) cells those kernels covered
+    batch_fallbacks: int = 0      # batch calls that fell back to the scalar loop
     shards: int = 1               # worker processes the search ran across
     shard_steals: int = 0         # matrices claimed outside a shard's home slice
     # Per-shard provenance (matrices claimed, steals, counters, seconds),
@@ -155,6 +158,9 @@ class SearchReport:
             "budget_stopped": self.budget_stopped,
             "time_stopped": self.time_stopped,
             "incumbent_seconds": self.incumbent_seconds,
+            "batch_prices": self.batch_prices,
+            "batch_payloads": self.batch_payloads,
+            "batch_fallbacks": self.batch_fallbacks,
             "shards": self.shards,
             "shard_steals": self.shard_steals,
         }
@@ -232,6 +238,47 @@ class _SerialPricer:
         ).total_seconds
         self._first[key] = seconds
         return seconds
+
+    def price_many(self, entries: Sequence[StrategyEntry]) -> List[float]:
+        """Price a buffered entry list through one vectorized kernel.
+
+        Shares the first-occurrence memo with :meth:`price`: duplicates —
+        within the batch or against entries priced earlier — copy the first
+        price, and the distinct programs reach the simulator in buffer
+        order, so profile compilation order and hit/miss provenance are
+        exactly what per-entry :meth:`price` calls would produce.  The
+        prices themselves are exact-equal floats (the
+        :mod:`repro.cost.batch` contract), so rankings can never shift.
+        """
+        out = [0.0] * len(entries)
+        distinct: List[LoweredProgram] = []
+        keys: List[Tuple] = []
+        positions: Dict[Tuple, List[int]] = {}
+        for i, entry in enumerate(entries):
+            program = entry.lowered
+            if program.num_steps == 0:
+                continue
+            key = (program.num_devices, program.signature())
+            known = self._first.get(key)
+            if known is not None:
+                out[i] = known
+                continue
+            bucket = positions.get(key)
+            if bucket is None:
+                positions[key] = [i]
+                distinct.append(program)
+                keys.append(key)
+            else:
+                bucket.append(i)
+        if distinct:
+            totals = self.simulator.simulate_many(
+                distinct, self.bytes_per_device, self.algorithm
+            )
+            for key, seconds in zip(keys, totals):
+                self._first[key] = seconds
+                for i in positions[key]:
+                    out[i] = seconds
+        return out
 
 
 class SearchDriver:
@@ -353,6 +400,19 @@ class SearchDriver:
         # exactly like the historical parallel spine.
         batch_all = self.evaluator is not None and not budgeted
         batch_items: List[Tuple[StrategyEntry, str]] = []
+        # Exhaustive serial path: baseline and search entries never read or
+        # update the watermark here (only seeds do, and those stay
+        # per-entry so placement pruning sees the incumbent at the same
+        # moments), so the stream is buffered and priced in one vectorized
+        # batch at the end — same entries, same floats, same profile-cache
+        # traffic as per-entry pricing.
+        batch_serial = self.evaluator is None and not budgeted
+        serial_items: List[Tuple[StrategyEntry, str]] = []
+        batch_before = (
+            simulator.batch_prices,
+            simulator.batch_payloads,
+            simulator.batch_fallbacks,
+        )
         # Budgeted pool path: survivors buffered between watermark reads.
         chunk: List[StrategyEntry] = []
         # n_workers is a formal attribute of the evaluator protocol
@@ -452,6 +512,8 @@ class SearchDriver:
                         report.baseline_entries += 1
                         if batch_all:
                             batch_items.append((item, ROLE_BASELINE))
+                        elif batch_serial:
+                            serial_items.append((item, ROLE_BASELINE))
                         else:
                             record_baseline(item, price_serial(item))
                         continue
@@ -467,6 +529,9 @@ class SearchDriver:
                     register(item.candidate)
                     if batch_all:
                         batch_items.append((item, "search"))
+                        continue
+                    if batch_serial:
+                        serial_items.append((item, "search"))
                         continue
                     if self.evaluator is not None:
                         chunk.append(item)
@@ -501,6 +566,17 @@ class SearchDriver:
                     else:
                         entries.append(entry)
                         predicted.append(seconds)
+        if batch_serial and serial_items:
+            with evaluation_watch:
+                seconds_list = pricer.price_many(
+                    [entry for entry, _ in serial_items]
+                )
+            for (entry, role), seconds in zip(serial_items, seconds_list):
+                if role == ROLE_BASELINE:
+                    record_baseline(entry, seconds)
+                else:
+                    entries.append(entry)
+                    predicted.append(seconds)
         flush_chunk()
 
         # Aggregate the synthesizer statistics only now: a streaming source
@@ -512,6 +588,9 @@ class SearchDriver:
 
         report.ranked = len(entries)
         report.matrices_reached = len(candidates)
+        report.batch_prices = simulator.batch_prices - batch_before[0]
+        report.batch_payloads = simulator.batch_payloads - batch_before[1]
+        report.batch_fallbacks = simulator.batch_fallbacks - batch_before[2]
         if watermark.seconds < float("inf"):
             report.incumbent_seconds = watermark.seconds
         elif predicted:

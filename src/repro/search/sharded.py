@@ -537,6 +537,9 @@ class ShardedSearchDriver:
             report.placements_pruned += m_report.placements_pruned
             report.baseline_entries += m_report.baseline_entries
             report.watermark_updates += m_report.watermark_updates
+            report.batch_prices += m_report.batch_prices
+            report.batch_payloads += m_report.batch_payloads
+            report.batch_fallbacks += m_report.batch_fallbacks
             report.budget_stopped = report.budget_stopped or m_report.budget_stopped
             report.time_stopped = report.time_stopped or m_report.time_stopped
 

@@ -170,6 +170,20 @@ class PlanningService:
         )
         self.requests_served = 0
 
+    def set_payload_ladder(self, payloads=None) -> None:
+        """Install (or clear) the payload-ladder memo on the pricing simulators.
+
+        Forwards to the serial-path simulator and, when a worker pool is
+        live, to the evaluator's parent-side simulator (its inline path) —
+        see :meth:`~repro.cost.simulator.ProgramSimulator.set_payload_ladder`.
+        Sweeps call this per scenario group so one vectorized batch answers
+        every rung of a ladder.
+        """
+        ladder = tuple(payloads) if payloads is not None else None
+        self._simulator.set_payload_ladder(ladder)
+        if self._evaluator is not None:
+            self._evaluator.simulator.set_payload_ladder(ladder)
+
     # ------------------------------------------------------------------ #
     # The Planner protocol: plan / plan_many over PlanQuery objects
     # ------------------------------------------------------------------ #

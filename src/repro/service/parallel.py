@@ -43,6 +43,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cost.batch import have_numpy, price_programs
 from repro.cost.model import CostModel
 from repro.cost.nccl import NCCLAlgorithm
 from repro.cost.profile import SimulationProfile, price_profile
@@ -119,6 +120,54 @@ def _evaluate_task(
     return index, result.total_seconds, compiled, delta
 
 
+def _evaluate_chunk(
+    task: Tuple[
+        Tuple[int, ...],
+        Tuple[Tuple[Tuple, Optional[LoweredProgram], Optional[SimulationProfile]], ...],
+        float,
+        NCCLAlgorithm,
+        Optional[Tuple[str, str]],
+    ]
+) -> Tuple[
+    Tuple[int, ...],
+    List[float],
+    List[Optional[SimulationProfile]],
+    Optional[RecorderSnapshot],
+]:
+    """Price one chunk of candidates in a single vectorized batch call.
+
+    Each item is ``(signature, program | None, profile | None)``: shipped
+    profiles are priced directly, cold programs are compiled first (and the
+    profiles returned for the parent to adopt, exactly like
+    :func:`_evaluate_task`).  All of the chunk's class rows then go through
+    one flattened :func:`~repro.cost.batch.price_programs` kernel — exact
+    equal floats to per-entry ``price_profile`` calls.  Coefficient tables
+    are cached in the worker simulator per signature, so repeated signatures
+    across chunks and evaluate calls never rebuild them.  The telemetry
+    delta carries one ``worker.price`` span for the chunk (``entries`` holds
+    its size) plus the usual compile spans and profile/batch counters.
+    """
+    indices, items, bytes_per_device, algorithm, parent_ctx = task
+    assert _WORKER_SIMULATOR is not None, "worker pool was not initialized"
+    simulator = _WORKER_SIMULATOR
+    compiled: List[Optional[SimulationProfile]] = [None] * len(items)
+    with _WORKER_RECORDER.span(
+        "worker.price", _parent=parent_ctx, index=indices[0], entries=len(items)
+    ):
+        pricers = []
+        for j, (signature, program, profile) in enumerate(items):
+            if profile is None:
+                profile = simulator.profile_for(program)
+                compiled[j] = profile
+            pricers.append(simulator.pricer_for(signature, profile))
+        totals = price_programs(
+            pricers, bytes_per_device, algorithm, simulator.cost_model
+        )
+        simulator._count_batch(have_numpy(), len(items))
+    delta = _WORKER_RECORDER.drain() if _WORKER_RECORDER.enabled else None
+    return indices, totals, compiled, delta
+
+
 class ParallelEvaluator:
     """Reusable process-pool evaluator bound to one topology and cost model.
 
@@ -166,54 +215,80 @@ class ParallelEvaluator:
         first_with_signature: Dict[Tuple, int] = {}
         duplicates: List[Tuple[int, int]] = []
         unique_indices: List[int] = []
+        signatures: Dict[int, Tuple] = {}
         for i, program in enumerate(programs):
             if program.num_steps == 0:
                 continue
-            signature = (program.num_devices, program.signature())
+            raw_signature = program.signature()
+            signature = (program.num_devices, raw_signature)
             first = first_with_signature.get(signature)
             if first is not None:
                 duplicates.append((i, first))
                 continue
             first_with_signature[signature] = i
             unique_indices.append(i)
+            signatures[i] = raw_signature
 
         if self.n_workers <= 1 or len(unique_indices) <= 1:
-            for i in unique_indices:
-                predicted[i] = self.simulator.simulate(
-                    programs[i], bytes_per_device, algorithm
-                ).total_seconds
+            # Inline path: one vectorized batch over the unique programs
+            # (same totals, hit/miss accounting and compile order as
+            # per-program simulate calls).
+            totals = self.simulator.simulate_many(
+                [programs[i] for i in unique_indices], bytes_per_device, algorithm
+            )
+            for i, seconds in zip(unique_indices, totals):
+                predicted[i] = seconds
         else:
             with self.recorder.span(
                 "evaluate.batch", tasks=len(unique_indices)
             ) as batch_span:
-                # Ship the batch span's identity with each task so the
+                # Ship the batch span's identity with each chunk so the
                 # workers' spans attach to this request's trace tree.
                 parent_ctx = (
                     (batch_span.trace_id, batch_span.span_id)
                     if batch_span.trace_id is not None
                     else current_trace_context()
                 )
-                tasks = []
+                entries = []
                 for i in unique_indices:
                     profile = self.simulator.cached_profile(programs[i])
-                    tasks.append(
+                    entries.append(
                         (
                             i,
-                            None if profile is not None else programs[i],
-                            profile,
-                            bytes_per_device,
-                            algorithm,
-                            parent_ctx,
+                            (
+                                signatures[i],
+                                None if profile is not None else programs[i],
+                                profile,
+                            ),
                         )
                     )
+                # The same granularity executor.map(chunksize=...) used: a
+                # few chunks per worker, but each chunk is now priced in one
+                # flattened kernel rather than entry by entry.
+                chunk_len = max(1, len(entries) // (self.n_workers * 4))
+                chunks = [
+                    (
+                        tuple(i for i, _ in part),
+                        tuple(item for _, item in part),
+                        bytes_per_device,
+                        algorithm,
+                        parent_ctx,
+                    )
+                    for part in (
+                        entries[start : start + chunk_len]
+                        for start in range(0, len(entries), chunk_len)
+                    )
+                ]
                 executor = self._ensure_executor()
-                chunksize = max(1, len(tasks) // (self.n_workers * 4))
-                for index, seconds, compiled, delta in executor.map(
-                    _evaluate_task, tasks, chunksize=chunksize
+                for indices, totals, compiled_list, delta in executor.map(
+                    _evaluate_chunk, chunks
                 ):
-                    predicted[index] = seconds
-                    if compiled is not None:
-                        self.simulator.adopt_profile(programs[index], compiled)
+                    for index, seconds, compiled in zip(
+                        indices, totals, compiled_list
+                    ):
+                        predicted[index] = seconds
+                        if compiled is not None:
+                            self.simulator.adopt_profile(programs[index], compiled)
                     if delta is not None:
                         self.recorder.merge(delta)
 

@@ -469,7 +469,12 @@ class TestSpineIntegration:
 
         snapshot = recorder.snapshot()
         worker_spans = [s for s in snapshot.spans if s.name == "worker.price"]
-        assert len(worker_spans) == unique_tasks
+        # Workers price chunks of entries, one span per chunk; the spans'
+        # `entries` attributes partition the unique tasks exactly.
+        chunk_len = max(1, unique_tasks // (2 * 4))  # n_workers=2, 4 chunks each
+        expected_chunks = -(-unique_tasks // chunk_len)  # ceil
+        assert len(worker_spans) == expected_chunks
+        assert sum(span.attrs["entries"] for span in worker_spans) == unique_tasks
         # Worker spans happened in other processes yet joined this trace.
         assert all(span.trace_id == root.trace_id for span in worker_spans)
         assert any(span.pid != os.getpid() for span in worker_spans)
@@ -479,7 +484,10 @@ class TestSpineIntegration:
         misses = snapshot.counters.get("profile.miss", 0)
         assert misses > 0
         assert hits + misses == unique_tasks
-        assert snapshot.histograms["span.worker.price"].count == unique_tasks
+        assert snapshot.histograms["span.worker.price"].count == expected_chunks
+        # Each chunk was priced in one vectorized batch call.
+        assert snapshot.counters.get("batch.prices", 0) == expected_chunks
+        assert snapshot.counters.get("batch.payloads", 0) == unique_tasks
 
     def test_worker_task_delta_shape(self, topology):
         """The worker task returns a drained delta when enabled, None when not."""

@@ -151,6 +151,33 @@ class TestExhaustiveEquivalence:
         assert outcome.profile_hits == 0
         assert outcome.profile_misses >= legacy_simulator.profile_misses
 
+    def test_batched_serial_path_matches_forced_scalar_fallback(
+        self, topology, monkeypatch
+    ):
+        """The vectorized serial spine is bit-identical — fingerprint, ranking
+        and every float — to the same plan priced with numpy disabled (the
+        scalar fallback runs the historical per-entry price_profile loop)."""
+        import repro.cost.batch as batch
+
+        query = _query((8, 4), (0,), 16 * MB, NCCLAlgorithm.RING)
+        vectorized = P2(topology, max_program_size=3).plan(query)
+        assert vectorized.search["batch_prices"] > 0
+        assert vectorized.search["batch_fallbacks"] == 0
+
+        monkeypatch.setattr(batch, "_np", None)
+        scalar = P2(topology, max_program_size=3).plan(query)
+        assert scalar.search["batch_fallbacks"] > 0
+
+        assert vectorized.fingerprint == scalar.fingerprint
+        assert vectorized.plan.baselines == scalar.plan.baselines
+        assert [
+            (s.matrix.entries, s.mnemonic, s.predicted_seconds)
+            for s in vectorized.plan.strategies
+        ] == [
+            (s.matrix.entries, s.mnemonic, s.predicted_seconds)
+            for s in scalar.plan.strategies
+        ]
+
     def test_parallel_budgeted_matches_serial_budgeted(self, topology):
         query = _query((8, 4), (0,), 16 * MB, NCCLAlgorithm.RING, max_candidates=10**9)
         serial = P2(topology, max_program_size=3).plan(query)
@@ -296,6 +323,41 @@ class TestBoundsAdmissibility:
         assert min_link_latency(topology) <= min(
             link.latency for link in topology.interconnects
         )
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_vectorized_lower_bounds_match_scalar_and_stay_admissible(
+        self, topology, algorithm
+    ):
+        """BatchPricer.lower_bounds == profile.lower_bound per payload, and
+        every vectorized bound keeps the admissibility invariant."""
+        from repro.cost.batch import BatchPricer
+
+        model = CostModel()
+        simulator = ProgramSimulator(topology, model)
+        candidates = synthesize_all(
+            topology.hierarchy,
+            ParallelismAxes((8, 4)),
+            ReductionRequest((0,)),
+            max_program_size=3,
+        )
+        checked = 0
+        for candidate in candidates:
+            for program in candidate.programs:
+                lowered = program.lowered
+                if lowered.num_steps == 0:
+                    continue
+                profile = simulator.profile_for(lowered)
+                pricer = BatchPricer(profile)
+                bounds = pricer.lower_bounds(PAYLOADS, algorithm, model)
+                assert len(bounds) == len(PAYLOADS)
+                for payload, bound in zip(PAYLOADS, bounds):
+                    assert bound == profile.lower_bound(payload, algorithm, model)
+                    exact = simulator.simulate(
+                        lowered, payload, algorithm
+                    ).total_seconds
+                    assert bound <= exact
+                    checked += 1
+        assert checked > 0
 
 
 class TestSearchStatisticsSurfacing:
