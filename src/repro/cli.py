@@ -88,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "JSON file (Perfetto-loadable; also readable by "
                             "`repro-cli stats`) on exit")
 
+    def add_corpus_argument(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--corpus", type=str, default=None, metavar="DIR",
+                       help="plan-corpus directory: seed cold searches from "
+                            "their nearest historical plans and ingest every "
+                            "cold unbudgeted outcome back (lossless: "
+                            "exhaustive seeded plans are bit-identical to "
+                            "unseeded, only faster)")
+
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--payload-scale", type=float, default=1.0,
                        help="scale the paper's payload (use e.g. 0.01 for quick runs)")
@@ -136,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="evaluate candidates on a process pool of this size")
     p_opt.add_argument("--json", action="store_true",
                        help="emit the outcome (query + plan + provenance) as one JSON object")
+    add_corpus_argument(p_opt)
     add_trace_out(p_opt)
 
     p_batch = sub.add_parser(
@@ -168,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="strategies to print per query")
     p_batch.add_argument("--json", action="store_true",
                          help="emit one JSON object per query (JSONL) instead of tables")
+    add_corpus_argument(p_batch)
     add_trace_out(p_batch)
 
     p_serve = sub.add_parser(
@@ -211,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--ready-file", type=str, default=None, metavar="FILE",
                          help='write {"host", "port", "pid", ...} JSON here once '
                               "listening (how scripts find an ephemeral port)")
+    add_corpus_argument(p_serve)
+    p_serve.add_argument("--no-corpus-warm", action="store_true",
+                         help="skip replaying the corpus into the plan cache "
+                              "on boot (corpus seeding/ingest still run)")
     add_trace_out(p_serve)
 
     p_load = sub.add_parser(
@@ -283,6 +297,33 @@ def build_parser() -> argparse.ArgumentParser:
                            help="emit the stats as a telemetry snapshot "
                                 "(same schema as `repro-cli stats --json`)")
 
+    p_corpus = sub.add_parser(
+        "corpus", help="inspect or maintain a plan corpus (see --corpus)"
+    )
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command", required=True)
+    p_corpus_stats = corpus_sub.add_parser(
+        "stats", help="print record counts and size of a plan corpus"
+    )
+    p_corpus_stats.add_argument("--corpus", type=str, required=True, metavar="DIR")
+    p_corpus_stats.add_argument("--json", action="store_true",
+                                help="emit the stats as one JSON object")
+    p_corpus_ingest = corpus_sub.add_parser(
+        "ingest",
+        help="ingest serialized outcomes (serve-batch --json output, or "
+             "another corpus file) into a plan corpus",
+    )
+    p_corpus_ingest.add_argument("--corpus", type=str, required=True, metavar="DIR")
+    p_corpus_ingest.add_argument("file", help="JSONL file of PlanOutcome/corpus records")
+    p_corpus_compact = corpus_sub.add_parser(
+        "compact",
+        help="rewrite a corpus keeping the newest record per query, "
+             "trimmed to --max-records",
+    )
+    p_corpus_compact.add_argument("--corpus", type=str, required=True, metavar="DIR")
+    p_corpus_compact.add_argument("--max-records", type=int, default=None,
+                                  help="override the stored-record bound for "
+                                       "this compaction")
+
     p_stats = sub.add_parser(
         "stats", help="pretty-print a telemetry file written by --trace-out"
     )
@@ -346,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--json", action="store_true",
                            help="print each scenario record as one JSON line")
             add_search_budget_arguments(p)
+            add_corpus_argument(p)
             add_trace_out(p)
     return parser
 
@@ -370,7 +412,19 @@ def _run_optimize(args: argparse.Namespace) -> int:
     if query.shards > 1 and args.workers and args.workers > 1:
         raise SystemExit("--shards and --workers are exclusive: pick one parallelism axis")
     p2 = P2(topology, max_program_size=args.max_program_size)
-    outcome = p2.plan(query, n_workers=args.workers)
+    seeder = None
+    sources = None
+    if args.corpus:
+        from repro.corpus import CorpusSeeder, PlanCorpus
+        from repro.service.fingerprint import plan_query_fingerprint
+
+        seeder = CorpusSeeder(PlanCorpus(args.corpus), topology, p2.cost_model)
+        sources = seeder.seed_sources(
+            query, plan_query_fingerprint(topology, query, p2.cost_model)
+        )
+    outcome = p2.plan(query, n_workers=args.workers, sources=sources)
+    if seeder is not None:
+        seeder.ingest(outcome)
     if args.json:
         import json
 
@@ -388,12 +442,21 @@ def _run_optimize(args: argparse.Namespace) -> int:
         outcome.search.get("bound_rejected")
         or outcome.search.get("budget_stopped")
         or outcome.search.get("time_stopped")
+        or outcome.search.get("seeds")
     ):
         print(
             f"search: {outcome.search['considered']} considered, "
             f"{outcome.search['bound_rejected']} bound-rejected, "
             f"{outcome.search['placements_pruned']} placements pruned"
         )
+        incumbent_at = outcome.search.get("time_to_incumbent_s")
+        if incumbent_at is not None:
+            seeded = (
+                " (seeded incumbent)"
+                if outcome.search.get("seeded_incumbent")
+                else ""
+            )
+            print(f"time to incumbent: {incumbent_at * 1e3:.1f} ms{seeded}")
     return 0
 
 
@@ -556,11 +619,17 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
         raise SystemExit("--shards and --workers are exclusive: pick one parallelism axis")
 
     cache = PlanCache(directory=args.cache_dir)
+    corpus = None
+    if args.corpus:
+        from repro.corpus import PlanCorpus
+
+        corpus = PlanCorpus(args.corpus)
     with PlanningService(
         topology,
         max_program_size=args.max_program_size,
         cache=cache,
         n_workers=args.workers,
+        corpus=corpus,
     ) as service:
         if args.json:
             import json
@@ -613,7 +682,13 @@ def _run_serve(args: argparse.Namespace) -> int:
         warm_path=args.warm,
         drain_timeout_s=args.drain_timeout,
         shards=args.shards,
+        corpus_warm=not args.no_corpus_warm,
     )
+    corpus = None
+    if args.corpus:
+        from repro.corpus import PlanCorpus
+
+        corpus = PlanCorpus(args.corpus)
 
     async def amain() -> None:
         daemon = PlanDaemon(service, config, recorder=recorder)
@@ -633,7 +708,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(
             f"planning daemon (pid {ready['pid']}) serving "
             f"{system.value} x {args.nodes} nodes on {' + '.join(listening)}"
-            + (f", warmed {daemon.warmed} queries" if daemon.warmed else ""),
+            + (f", warmed {daemon.warmed} queries" if daemon.warmed else "")
+            + (
+                f", pre-warmed {daemon.corpus_warmed} plans from the corpus"
+                if daemon.corpus_warmed
+                else ""
+            ),
             file=sys.stderr,
         )
         await daemon.wait_closed()
@@ -644,6 +724,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         cache=PlanCache(directory=args.cache_dir),
         n_workers=args.workers,
         recorder=recorder,
+        corpus=corpus,
     ) as service:
         asyncio.run(amain())
     return 0
@@ -829,6 +910,72 @@ def _run_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")  # pragma: no cover
 
 
+def _run_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus import PlanCorpus
+
+    if args.corpus_command == "stats":
+        corpus = PlanCorpus(args.corpus)
+        stats = corpus.stats()
+        if getattr(args, "json", False):
+            import json
+
+            print(json.dumps(stats, sort_keys=True))
+            return 0
+        print(
+            f"corpus at {stats['path']}: {stats['records']} records "
+            f"({stats['distinct_fingerprints']} queries, "
+            f"{stats['distinct_payloads']} payloads), "
+            f"{stats['total_bytes'] / 1e3:.1f} kB "
+            f"(bound {stats['max_records']})"
+        )
+        return 0
+    if args.corpus_command == "ingest":
+        import json
+
+        corpus = PlanCorpus(args.corpus)
+        ingested = skipped = malformed = 0
+        try:
+            handle = open(args.file, encoding="utf-8")
+        except OSError as error:
+            raise SystemExit(f"cannot read {args.file}: {error}")
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    malformed += 1
+                    continue
+                if corpus.ingest_record(record):
+                    ingested += 1
+                else:
+                    skipped += 1
+        print(
+            f"ingested {ingested} outcome(s) into {corpus.path} "
+            f"({skipped} skipped: duplicates, budgeted or unusable"
+            + (f"; {malformed} malformed line(s)" if malformed else "")
+            + ")"
+        )
+        return 0
+    if args.corpus_command == "compact":
+        corpus = PlanCorpus(args.corpus)
+        if args.max_records is not None:
+            if args.max_records < 1:
+                raise SystemExit("--max-records must be >= 1")
+            corpus.max_records = args.max_records
+        dropped = corpus.compact()
+        print(
+            f"compacted {corpus.path}: dropped {dropped} record(s), "
+            f"{len(corpus)} kept"
+        )
+        return 0
+    raise AssertionError(
+        f"unhandled corpus command {args.corpus_command!r}"
+    )  # pragma: no cover
+
+
 def _run_stats(args: argparse.Namespace) -> int:
     from repro.obs import load_snapshot, render_summary
 
@@ -986,8 +1133,18 @@ def _run_sweep(args: argparse.Namespace) -> int:
         raise SystemExit("--shards and --workers are exclusive: pick one parallelism axis")
 
     planner_factory = None
-    if args.cache_dir is not None or (args.workers or 0) > 1:
+    if args.cache_dir is not None or (args.workers or 0) > 1 or args.corpus:
         from repro.service import PlanCache, PlanningService
+
+        corpus = None
+        if args.corpus:
+            from repro.corpus import PlanCorpus
+
+            # One corpus shared across the sweep's topologies is safe: each
+            # service's seeder filters records by its own planning-context
+            # fingerprint, and ingest dedupes by query fingerprint — so a
+            # resumed sweep never double-ingests checkpointed scenarios.
+            corpus = PlanCorpus(args.corpus)
 
         def planner_factory(topology):
             # One shared directory is safe: cache keys are fingerprints that
@@ -996,6 +1153,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
                 topology,
                 cache=PlanCache(directory=args.cache_dir),
                 n_workers=args.workers,
+                corpus=corpus,
             )
 
     def on_record(record):
@@ -1103,6 +1261,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "cache":
         return _run_cache(args)
+
+    if args.command == "corpus":
+        return _run_corpus(args)
 
     if args.command == "stats":
         return _run_stats(args)

@@ -1,0 +1,43 @@
+"""The plan corpus: persisted planning history that seeds future searches.
+
+Every cold, unbudgeted plan the system produces is a reusable asset: its
+ranked strategies are strong incumbents for *related* queries (same axes,
+nearby payload, same or different algorithm), not just for exact cache hits.
+This package persists those outcomes and turns them back into search seeds:
+
+* :mod:`repro.corpus.store` — :class:`PlanCorpus`, an append-only
+  JSONL-backed store of ``(query, plan)`` records with dedupe, bounded
+  size and compaction,
+* :mod:`repro.corpus.neighbors` — nearest-neighbor ranking over canonical
+  :meth:`~repro.query.PlanQuery.to_dict` features (axes shape, planning
+  context, payload band, algorithm), exact matches first,
+* :mod:`repro.corpus.seeding` — glue that converts neighbor plans into
+  :class:`~repro.search.PinnedPlanSource` seeds for the search driver and
+  pre-warms a :class:`~repro.service.engine.PlanningService` cache from
+  the corpus on boot.
+
+Seeding is lossless by construction: seeds only tighten the
+branch-and-bound watermark under a search budget, so exhaustive seeded
+plans are bit-identical to unseeded ones — only faster to reach their
+incumbent — and remain sound to cache under the seed-free fingerprint.
+"""
+
+from repro.corpus.neighbors import nearest_records, query_distance
+from repro.corpus.seeding import CorpusSeeder, warm_from_corpus
+from repro.corpus.store import (
+    CORPUS_FORMAT_VERSION,
+    CorpusRecord,
+    PlanCorpus,
+    context_fingerprint,
+)
+
+__all__ = [
+    "CORPUS_FORMAT_VERSION",
+    "CorpusRecord",
+    "PlanCorpus",
+    "CorpusSeeder",
+    "context_fingerprint",
+    "nearest_records",
+    "query_distance",
+    "warm_from_corpus",
+]

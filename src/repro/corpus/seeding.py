@@ -1,0 +1,164 @@
+"""Turn corpus history into search seeds and pre-warmed service caches.
+
+Two consumers sit on top of the corpus:
+
+* :class:`CorpusSeeder` — per cold query, look up the nearest corpus
+  records and convert their plans into
+  :class:`~repro.search.PinnedPlanSource` seeds prepended to the default
+  source list.  Seeds are fingerprint-neutral: they only tighten the
+  branch-and-bound watermark under a search budget, so exhaustive seeded
+  plans stay bit-identical to unseeded ones (the driver enforces this) and
+  the service may cache them under the ordinary seed-free fingerprint.
+  Foreign-reduction seeds are disqualified wholesale by the pinned source
+  itself — the seeder ranks them low but does not re-implement that
+  judgment.
+* :func:`warm_from_corpus` — on boot, replay corpus records whose
+  fingerprint still matches what the live service would compute for the
+  same query (same topology, cost model and fingerprint version) straight
+  into the plan cache, so exact repeats of historical queries are memory
+  hits without a single search.
+
+Telemetry: ``corpus.lookups`` counts seed lookups, ``corpus.hits`` the
+lookups that found at least one usable neighbor, ``corpus.seeded`` the
+pinned sources actually injected, and ``corpus.warmed`` the records
+replayed into a cache — all through the ordinary :mod:`repro.obs` spine,
+so daemon ``stats`` snapshots report the corpus hit ratio for free.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import List, Optional
+
+from repro.corpus.neighbors import nearest_records
+from repro.corpus.store import PlanCorpus, context_fingerprint
+from repro.errors import ReproError
+from repro.obs.recorder import get_recorder
+from repro.query import PlanQuery
+
+__all__ = ["CorpusSeeder", "warm_from_corpus"]
+
+logger = logging.getLogger(__name__)
+
+DEFAULT_TOP_K_NEIGHBORS = 2
+DEFAULT_STRATEGIES_PER_SEED = 1
+
+
+class CorpusSeeder:
+    """Builds seeded source lists for cold queries from a plan corpus.
+
+    Parameters
+    ----------
+    corpus:
+        The history to draw from.
+    topology / cost_model:
+        The live planning context; records from a different context are
+        never used as seeds.
+    top_k_neighbors:
+        How many nearest records to convert into pinned sources.
+    strategies_per_seed:
+        How many top-ranked strategies each pinned source replays.
+    """
+
+    def __init__(
+        self,
+        corpus: PlanCorpus,
+        topology,
+        cost_model,
+        *,
+        top_k_neighbors: int = DEFAULT_TOP_K_NEIGHBORS,
+        strategies_per_seed: int = DEFAULT_STRATEGIES_PER_SEED,
+        recorder=None,
+    ) -> None:
+        self.corpus = corpus
+        self.topology = topology
+        self.cost_model = cost_model
+        self.top_k_neighbors = top_k_neighbors
+        self.strategies_per_seed = strategies_per_seed
+        self.recorder = recorder if recorder is not None else get_recorder()
+        self.context = context_fingerprint(topology, cost_model)
+
+    def seed_sources(
+        self, query: PlanQuery, fingerprint: Optional[str] = None
+    ) -> Optional[List]:
+        """A full source list seeded from history, or ``None`` on no match.
+
+        Returns ``[pinned..., baselines, synthesis]`` — ready to hand to
+        :func:`repro.api.compute_plan` — when at least one neighbor plan
+        deserializes; ``None`` means "use the default sources", so callers
+        can pass the result straight through.
+        """
+        from repro.api import OptimizationPlan
+        from repro.search import PinnedPlanSource, default_sources
+
+        recorder = self.recorder
+        recorder.count("corpus.lookups")
+        records = self.corpus.records()
+        if not records:
+            return None
+        neighbors = nearest_records(
+            records,
+            query.to_dict(),
+            context=self.context,
+            exact_fingerprint=fingerprint,
+            top_k=self.top_k_neighbors,
+        )
+        if not neighbors:
+            return None
+        pinned = []
+        for record in neighbors:
+            try:
+                plan = OptimizationPlan.from_dict(record.plan)
+            except (ReproError, KeyError, TypeError, ValueError):
+                # History that no longer deserializes (format drift) is
+                # useless as a seed but harmless: skip it.
+                logger.debug(
+                    "corpus seed %s failed to deserialize; skipped",
+                    record.fingerprint,
+                )
+                continue
+            if not plan.strategies:
+                continue
+            pinned.append(
+                PinnedPlanSource.from_plan(plan, top_k=self.strategies_per_seed)
+            )
+        if not pinned:
+            return None
+        recorder.count("corpus.hits")
+        recorder.count("corpus.seeded", len(pinned))
+        return [*pinned, *default_sources()]
+
+    def ingest(self, outcome) -> bool:
+        """Store a cold outcome, stamped with this seeder's context."""
+        stored = self.corpus.ingest_outcome(outcome, context=self.context)
+        if stored:
+            self.recorder.count("corpus.ingested")
+        return stored
+
+
+def warm_from_corpus(service, corpus: PlanCorpus) -> int:
+    """Replay corpus records into ``service``'s plan cache; return how many.
+
+    Only records that are *provably* this service's own answers are
+    replayed: the record's stored fingerprint must equal what the live
+    service computes for the record's query, which binds topology, cost
+    model, fingerprint version and the canonical query dict all at once.
+    Budgeted records never enter the corpus, so everything replayed honours
+    the budgeted-plans-are-never-cached invariant.
+    """
+    warmed = 0
+    for record in corpus.records():
+        try:
+            query = PlanQuery.from_dict(record.query)
+        except ReproError:
+            continue
+        if query.has_search_budget:
+            continue
+        if service.query_fingerprint(query) != record.fingerprint:
+            continue
+        service.cache.put(record.fingerprint, record.plan)
+        warmed += 1
+    if warmed:
+        service.recorder.count("corpus.warmed", warmed)
+        logger.debug("warmed %d plan(s) from %s", warmed, corpus.path)
+    return warmed

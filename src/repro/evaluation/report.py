@@ -128,6 +128,20 @@ def render_provenance_summary(results: Sequence[SweepResult], snapshot=None) -> 
             f"{placements_pruned} placements pruned, "
             f"{stopped}/{len(searches)} scenario(s) budget-stopped"
         )
+        incumbent_times = [
+            s["time_to_incumbent_s"]
+            for s in searches
+            if s.get("time_to_incumbent_s") is not None
+        ]
+        if incumbent_times:
+            seeded = sum(1 for s in searches if s.get("seeded_incumbent"))
+            mean_incumbent = sum(incumbent_times) / len(incumbent_times)
+            line += (
+                f"\nincumbent: mean time-to-incumbent "
+                f"{mean_incumbent * 1e3:.1f} ms over "
+                f"{len(incumbent_times)} search(es), "
+                f"{seeded} seeded from history"
+            )
     if snapshot is not None:
         for name in ("sweep.scenario", "service.plan", "plan", "search.run"):
             histogram = snapshot.histograms.get(f"span.{name}")

@@ -134,6 +134,11 @@ class SearchReport:
     budget_stopped: bool = False  # stream cut by max_candidates
     time_stopped: bool = False    # stream cut by time_budget_s
     incumbent_seconds: Optional[float] = None  # final best exact time
+    # Monotonic seconds from search start until the final incumbent cost was
+    # *first* reached (ties keep the earliest), and whether the entry that
+    # first reached it came from a seed source (a corpus/pinned warm start).
+    time_to_incumbent_s: Optional[float] = None
+    seeded_incumbent: bool = False
     batch_prices: int = 0         # vectorized batch-pricing kernel invocations
     batch_payloads: int = 0       # (program, payload) cells those kernels covered
     batch_fallbacks: int = 0      # batch calls that fell back to the scalar loop
@@ -158,6 +163,8 @@ class SearchReport:
             "budget_stopped": self.budget_stopped,
             "time_stopped": self.time_stopped,
             "incumbent_seconds": self.incumbent_seconds,
+            "time_to_incumbent_s": self.time_to_incumbent_s,
+            "seeded_incumbent": self.seeded_incumbent,
             "batch_prices": self.batch_prices,
             "batch_payloads": self.batch_payloads,
             "batch_fallbacks": self.batch_fallbacks,
@@ -396,16 +403,33 @@ class SearchDriver:
         evaluation_watch = Stopwatch()
         start = time.perf_counter()
 
+        # Incumbent-time tracking: the wall-clock moment the final incumbent
+        # cost is *first* reached, and whether a seed reached it.  Strict
+        # ``<`` keeps the earliest entry at the final cost, so a seed
+        # replaying the eventual winner is credited even though later search
+        # entries tie it with the exact same float.
+        incumbent_value = float("inf")
+        incumbent_at: Optional[float] = None
+        incumbent_seeded = False
+
+        def note_price(seconds: float, seeded: bool = False) -> None:
+            nonlocal incumbent_value, incumbent_at, incumbent_seeded
+            if seconds < incumbent_value:
+                incumbent_value = seconds
+                incumbent_at = time.perf_counter() - start
+                incumbent_seeded = seeded
+
         # Exhaustive pool path: one batched evaluate over the whole stream,
         # exactly like the historical parallel spine.
         batch_all = self.evaluator is not None and not budgeted
         batch_items: List[Tuple[StrategyEntry, str]] = []
-        # Exhaustive serial path: baseline and search entries never read or
-        # update the watermark here (only seeds do, and those stay
-        # per-entry so placement pruning sees the incumbent at the same
-        # moments), so the stream is buffered and priced in one vectorized
-        # batch at the end — same entries, same floats, same profile-cache
-        # traffic as per-entry pricing.
+        # Exhaustive serial path: nothing reads or updates the watermark here
+        # — seeds are still priced per-entry (they time-stamp the incumbent
+        # early) but only lower the watermark under a search budget, so an
+        # exhaustive stream never prunes and a seeded exhaustive plan stays
+        # bit-identical to unseeded.  The stream is therefore buffered and
+        # priced in one vectorized batch at the end — same entries, same
+        # floats, same profile-cache traffic as per-entry pricing.
         batch_serial = self.evaluator is None and not budgeted
         serial_items: List[Tuple[StrategyEntry, str]] = []
         batch_before = (
@@ -463,6 +487,7 @@ class SearchDriver:
                     for entry, seconds in zip(survivors, seconds_list):
                         entries.append(entry)
                         predicted.append(seconds)
+                        note_price(seconds)
                         if watermark.update(seconds):
                             report.watermark_updates += 1
 
@@ -522,7 +547,14 @@ class SearchDriver:
                         if batch_all:
                             batch_items.append((item, ROLE_SEED))
                         else:
-                            if watermark.update(price_serial(item)):
+                            seconds = price_serial(item)
+                            note_price(seconds, seeded=True)
+                            # Seeds only lower the watermark under a search
+                            # budget: an exhaustive stream must never prune,
+                            # so a seeded exhaustive plan stays bit-identical
+                            # to unseeded (which keeps corpus-seeded plans
+                            # sound to service-cache).
+                            if budgeted and watermark.update(seconds):
                                 report.watermark_updates += 1
                         continue
                     report.considered += 1
@@ -547,6 +579,7 @@ class SearchDriver:
                     seconds = price_serial(item)
                     entries.append(item)
                     predicted.append(seconds)
+                    note_price(seconds)
                     if budgeted and watermark.update(seconds):
                         report.watermark_updates += 1
 
@@ -561,11 +594,13 @@ class SearchDriver:
                     if role == ROLE_BASELINE:
                         record_baseline(entry, seconds)
                     elif role == ROLE_SEED:
-                        if watermark.update(seconds):
-                            report.watermark_updates += 1
+                        # batch_all is the exhaustive pool path: seeds never
+                        # lower the watermark without a budget (see above).
+                        note_price(seconds, seeded=True)
                     else:
                         entries.append(entry)
                         predicted.append(seconds)
+                        note_price(seconds)
         if batch_serial and serial_items:
             with evaluation_watch:
                 seconds_list = pricer.price_many(
@@ -577,6 +612,7 @@ class SearchDriver:
                 else:
                     entries.append(entry)
                     predicted.append(seconds)
+                    note_price(seconds)
         flush_chunk()
 
         # Aggregate the synthesizer statistics only now: a streaming source
@@ -595,6 +631,9 @@ class SearchDriver:
             report.incumbent_seconds = watermark.seconds
         elif predicted:
             report.incumbent_seconds = min(predicted)
+        if incumbent_at is not None:
+            report.time_to_incumbent_s = incumbent_at
+            report.seeded_incumbent = incumbent_seeded
 
         logger.debug(
             "search complete: %d considered, %d ranked, %d bound-rejected, "
@@ -614,6 +653,10 @@ class SearchDriver:
         recorder.count("search.baseline_entries", report.baseline_entries)
         recorder.observe("search.synthesis_seconds", synthesis_watch.seconds)
         recorder.observe("search.evaluation_seconds", evaluation_watch.seconds)
+        if report.time_to_incumbent_s is not None:
+            recorder.observe(
+                "search.time_to_incumbent_s", report.time_to_incumbent_s
+            )
         return SearchResult(
             entries=entries,
             predicted=predicted,

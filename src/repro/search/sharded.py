@@ -392,7 +392,21 @@ class ShardedSearchDriver:
         # Seeds are priced in the parent before any worker starts, so every
         # shard's very first bound check already races a warm incumbent —
         # the same ordering the serial driver guarantees (seed sources come
-        # before the synthesis stream).
+        # before the synthesis stream).  As in the serial driver, seeds only
+        # lower the shared watermark under a search budget: exhaustive
+        # sharded plans must stay bit-identical to unseeded serial ones.
+        start = time.perf_counter()
+        incumbent_value = float("inf")
+        incumbent_at: Optional[float] = None
+        incumbent_seeded = False
+
+        def note_price(seconds: float, seeded: bool = False) -> None:
+            nonlocal incumbent_value, incumbent_at, incumbent_seeded
+            if seconds < incumbent_value:
+                incumbent_value = seconds
+                incumbent_at = time.perf_counter() - start
+                incumbent_seeded = seeded
+
         seed_watch = Stopwatch()
         if seed_sources:
             simulator = (
@@ -412,7 +426,8 @@ class ShardedSearchDriver:
                                 program, query.bytes_per_device, query.algorithm
                             ).total_seconds
                         )
-                        if watermark.update(seconds):
+                        note_price(seconds, seeded=True)
+                        if query.has_search_budget and watermark.update(seconds):
                             report.watermark_updates += 1
 
         budget_counter = (
@@ -465,6 +480,11 @@ class ShardedSearchDriver:
                 kind, shard = message[0], message[1]
                 if kind == "matrix":
                     per_matrix[message[2]] = message[3]
+                    # Incumbent timing is a parent-side wall-clock fact: a
+                    # matrix's best price "arrives" when its message does.
+                    matrix_predicted = message[3][1]
+                    if matrix_predicted:
+                        note_price(min(matrix_predicted))
                 elif kind == "done":
                     summaries.append(message[2])
                     if message[3] is not None:
@@ -486,6 +506,8 @@ class ShardedSearchDriver:
 
         for delta in deltas:
             self.recorder.merge(delta)
+        report.time_to_incumbent_s = incumbent_at
+        report.seeded_incumbent = incumbent_at is not None and incumbent_seeded
         return self._assemble(
             space, report, watermark, per_matrix, summaries, seed_watch.seconds
         )

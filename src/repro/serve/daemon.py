@@ -95,6 +95,11 @@ class DaemonConfig:
     # so this never changes what the cache returns — only how fast cold
     # exhaustive plans are computed.
     shards: Optional[int] = None
+    # When the service carries a plan corpus (repro.corpus), replay it into
+    # the plan cache before accepting traffic, so exact repeats of
+    # historical queries are warm hits from the first request.  Ignored for
+    # services without a corpus.
+    corpus_warm: bool = True
 
     def __post_init__(self) -> None:
         if self.port is None and self.unix_path is None:
@@ -218,6 +223,7 @@ class PlanDaemon:
         self.tcp_address: Optional[Tuple[str, int]] = None
         self.unix_address: Optional[str] = None
         self.warmed = 0
+        self.corpus_warmed = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -230,6 +236,11 @@ class PlanDaemon:
             max_workers=1, thread_name_prefix="repro-serve-plan"
         )
         self._started_mono = time.monotonic()
+        # Corpus first, then the warm file: corpus replay is pure cache
+        # population (no search), so any warm-file query already answered by
+        # history becomes a lookup instead of a cold plan.
+        if config.corpus_warm and getattr(self.service, "corpus", None) is not None:
+            await self._warm_corpus()
         if config.warm_path is not None:
             await self._warm(config.warm_path)
         if config.port is not None:
@@ -274,6 +285,21 @@ class PlanDaemon:
         logger.info(
             "warmed %d queries from %s in %.2fs (%d were cold)",
             len(queries), path, elapsed, cold,
+        )
+
+    async def _warm_corpus(self) -> None:
+        """Replay the service's plan corpus into its cache (no search runs)."""
+        loop = asyncio.get_event_loop()
+        started = time.perf_counter()
+        warmed = await loop.run_in_executor(
+            self._executor, self.service.warm_from_corpus
+        )
+        elapsed = time.perf_counter() - started
+        self.corpus_warmed = warmed
+        self.recorder.count("serve.corpus_warm.plans", warmed)
+        self.recorder.observe("serve.corpus_warm_seconds", elapsed)
+        logger.info(
+            "pre-warmed %d plan(s) from the corpus in %.2fs", warmed, elapsed
         )
 
     def install_signal_handlers(self, loop: asyncio.AbstractEventLoop) -> None:

@@ -30,7 +30,10 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard; corpus sits above us
+    from repro.corpus.store import PlanCorpus
 
 from repro.api import OptimizationPlan, compute_plan
 from repro.cost.model import CostModel
@@ -141,6 +144,14 @@ class PlanningService:
         evaluates serially.  The pool is created lazily and shared across
         requests; call :meth:`close` (or use the service as a context
         manager) to release it.
+    corpus:
+        An optional :class:`~repro.corpus.store.PlanCorpus` of planning
+        history.  When set, every cold query is seeded from its nearest
+        corpus neighbors (lossless: exhaustive seeded plans are
+        bit-identical to unseeded, so caching them stays sound), every
+        cold unbudgeted outcome is ingested back, and
+        :meth:`warm_from_corpus` can replay exact historical answers into
+        the cache on boot.
     """
 
     def __init__(
@@ -151,6 +162,7 @@ class PlanningService:
         cache: Optional[PlanCache] = None,
         n_workers: Optional[int] = None,
         recorder=None,
+        corpus: Optional["PlanCorpus"] = None,
     ) -> None:
         self.topology = topology
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -168,6 +180,18 @@ class PlanningService:
         self._simulator = ProgramSimulator(
             topology, self.cost_model, recorder=self.recorder
         )
+        self.corpus = corpus
+        if corpus is not None:
+            # Imported lazily: repro.corpus sits above the service layer
+            # (its store canonicalizes through repro.service.fingerprint),
+            # so a module-level import here would be circular.
+            from repro.corpus.seeding import CorpusSeeder
+
+            self._seeder = CorpusSeeder(
+                corpus, topology, self.cost_model, recorder=self.recorder
+            )
+        else:
+            self._seeder = None
         self.requests_served = 0
 
     def set_payload_ladder(self, payloads=None) -> None:
@@ -253,6 +277,16 @@ class PlanningService:
                 )
                 hits_before = pricing_simulator.profile_hits
                 misses_before = pricing_simulator.profile_misses
+                # Corpus warm start: replay the nearest historical plans as
+                # pinned seeds ahead of the default sources.  Seeding is
+                # fingerprint-neutral — seeds only tighten the watermark
+                # under a search budget, so an exhaustive seeded plan is
+                # bit-identical to unseeded and stays sound to cache below.
+                sources = (
+                    self._seeder.seed_sources(query, fingerprint)
+                    if self._seeder is not None
+                    else None
+                )
                 computation = compute_plan(
                     self.topology,
                     self.cost_model,
@@ -260,6 +294,7 @@ class PlanningService:
                     evaluator=evaluator,
                     simulator=None if evaluator is not None else self._simulator,
                     recorder=recorder,
+                    sources=sources,
                 )
                 plan = computation.plan
                 # Budgeted plans are never cached: a wall-clock budget is not a
@@ -294,6 +329,11 @@ class PlanningService:
                     synthesis_stats=computation.statistics_dict(),
                     trace_id=root.trace_id,
                 )
+                # Every cold unbudgeted answer becomes history the next
+                # related query can seed from (the corpus itself refuses
+                # budgeted outcomes and dedupes repeats).
+                if self._seeder is not None and not query.has_search_budget:
+                    self._seeder.ingest(outcome)
         recorder.observe("service.total_seconds", outcome.total_seconds)
         self.requests_served += 1
         return outcome
@@ -378,6 +418,21 @@ class PlanningService:
             if not self.plan(query).cache_hit:
                 cold += 1
         return cold
+
+    def warm_from_corpus(self) -> int:
+        """Replay this service's corpus into its cache; return how many plans.
+
+        Only records whose stored fingerprint matches what this service
+        computes for the same query are replayed (binding topology, cost
+        model and fingerprint version at once); a service without a corpus
+        warms nothing.  Unlike :meth:`warm`, no search ever runs — this is
+        pure cache population, suitable for daemon boot.
+        """
+        if self.corpus is None:
+            return 0
+        from repro.corpus.seeding import warm_from_corpus
+
+        return warm_from_corpus(self, self.corpus)
 
     # ------------------------------------------------------------------ #
     # Lifecycle / introspection

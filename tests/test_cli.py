@@ -461,3 +461,78 @@ class TestMain:
         assert exit_code == 0
         assert "HloModule" in captured.out
         assert "replica_groups" in captured.out
+
+
+class TestCacheStatsJson:
+    def test_cache_stats_json_reports_disk_counters(self, capsys, tmp_path):
+        import json
+
+        main(
+            ["serve-batch", "--nodes", "2", "--max-program-size", "3",
+             "--query", f"8,4:0:{32 << 20}", "--cache-dir", str(tmp_path)]
+        )
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        # Snapshot schema: the same shape the telemetry exporters emit.
+        counters = snapshot["counters"]
+        assert counters["cache.disk_entries"] == 1
+        assert counters["cache.disk_bytes"] > 0
+
+
+class TestCorpusCli:
+    OPTIMIZE = [
+        "optimize", "--system", "a100", "--nodes", "2",
+        "--axes", "8", "4", "--reduce", "0", "--max-program-size", "3",
+    ]
+
+    def test_optimize_corpus_round_trip_seeds_second_run(self, capsys, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        first = self.OPTIMIZE + ["--bytes", str(16 << 20), "--corpus", corpus_dir]
+        assert main(first) == 0
+        out = capsys.readouterr().out
+        assert "seeded incumbent" not in out  # nothing to seed from yet
+        second = self.OPTIMIZE + ["--bytes", str(32 << 20), "--corpus", corpus_dir]
+        assert main(second) == 0
+        out = capsys.readouterr().out
+        assert "time to incumbent:" in out
+        assert "(seeded incumbent)" in out
+
+        assert main(["corpus", "stats", "--corpus", corpus_dir]) == 0
+        stats_out = capsys.readouterr().out
+        assert "2 records" in stats_out
+
+    def test_corpus_stats_json(self, capsys, tmp_path):
+        import json
+
+        corpus_dir = str(tmp_path / "corpus")
+        run = self.OPTIMIZE + ["--bytes", str(16 << 20), "--corpus", corpus_dir]
+        assert main(run) == 0
+        capsys.readouterr()
+        assert main(["corpus", "stats", "--corpus", corpus_dir, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["records"] == 1
+        assert stats["distinct_fingerprints"] == 1
+        assert stats["total_bytes"] > 0
+
+    def test_corpus_ingest_and_compact(self, capsys, tmp_path):
+        main(
+            ["serve-batch", "--nodes", "2", "--max-program-size", "3",
+             "--query", f"8,4:0:{16 << 20}", "--query", f"8,4:0:{32 << 20}",
+             "--json"]
+        )
+        out_file = tmp_path / "outcomes.jsonl"
+        out_file.write_text(capsys.readouterr().out)
+        corpus_dir = str(tmp_path / "corpus")
+        ingest = ["corpus", "ingest", "--corpus", corpus_dir, str(out_file)]
+        assert main(ingest) == 0
+        assert "ingested 2 outcome(s)" in capsys.readouterr().out
+        # Re-ingesting the same file is a no-op: everything dedupes.
+        assert main(ingest) == 0
+        assert "ingested 0 outcome(s)" in capsys.readouterr().out
+
+        compact = ["corpus", "compact", "--corpus", corpus_dir, "--max-records", "1"]
+        assert main(compact) == 0
+        out = capsys.readouterr().out
+        assert "dropped 1 record(s)" in out
+        assert "1 kept" in out

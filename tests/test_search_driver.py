@@ -588,6 +588,28 @@ class TestShardedSearch:
         )
         assert outcome.search["seeds"] == 1
         assert _ranking(outcome.plan) == _ranking(first.plan)
+        # An exhaustive sharded run reaches the same incumbent through the
+        # seed, so it is stamped as seeded and timestamped early.
+        assert outcome.search["seeded_incumbent"] is True
+        assert outcome.search["time_to_incumbent_s"] is not None
+        assert outcome.search["time_to_incumbent_s"] >= 0.0
+
+    def test_near_miss_seed_is_disqualified_wholesale(self, topology):
+        # A seed whose plan answers a *different* reduction request must be
+        # rejected as a unit — no strategy from it may leak into the search —
+        # and the resulting plan must be bit-identical to an unseeded run.
+        from repro.search import PinnedPlanSource, default_sources
+
+        foreign = P2(topology, max_program_size=3).plan(
+            _query((8, 4), (1,), 1 * MB, NCCLAlgorithm.RING)
+        )
+        query = _query((8, 4), (0,), 1 * MB, NCCLAlgorithm.RING)
+        sources = [PinnedPlanSource.from_plan(foreign.plan, top_k=1), *default_sources()]
+        seeded = P2(topology, max_program_size=3).plan(query, sources=sources)
+        unseeded = P2(topology, max_program_size=3).plan(query)
+        assert seeded.search["seeds"] == 0
+        assert seeded.search["seeded_incumbent"] is False
+        assert _ranking(seeded.plan) == _ranking(unseeded.plan)
 
 
 class TestPlacementLedger:
